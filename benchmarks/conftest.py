@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures; the
+measured payloads are printed so ``pytest benchmarks/ --benchmark-only -s``
+doubles as a results dump.  Scales are kept small enough for the whole
+suite to run in a couple of minutes; the experiments runner
+(``python -m repro.experiments.runner --full``) produces the
+higher-fidelity numbers for EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (long-running drivers)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

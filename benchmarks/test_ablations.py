@@ -1,0 +1,24 @@
+"""Benchmark: the ablation studies of the design choices."""
+
+from repro.analysis.ablation import (
+    cform_mode_ablation,
+    metadata_format_ablation,
+    quarantine_ablation,
+    render_all,
+    span_range_ablation,
+)
+
+
+def test_ablations(once):
+    text = once(render_all)
+    print()
+    print(text)
+    # Directional claims the ablations must reproduce.
+    quarantine = quarantine_ablation(fractions=(0.0, 0.6))
+    assert quarantine[1].detection_rate >= quarantine[0].detection_rate
+    modes = {r.mode: r.application_l1_misses for r in cform_mode_ablation()}
+    assert modes["non-temporal"] <= modes["temporal"]
+    formats = {r.format: r for r in metadata_format_ablation()}
+    assert formats["califorms-sentinel"].l2_overhead_pct < 0.3
+    spans = span_range_ablation()
+    assert spans[-1].average_memory_overhead_pct > spans[0].average_memory_overhead_pct

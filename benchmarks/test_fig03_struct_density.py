@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 3 (struct density census)."""
+
+from repro.experiments import fig03_struct_density
+
+
+def test_fig03_struct_density(once):
+    results = once(fig03_struct_density.run)
+    print()
+    print(fig03_struct_density.render(results))
+    assert abs(results["spec"].padded_fraction - 0.457) < 0.05
+    assert abs(results["v8"].padded_fraction - 0.410) < 0.05

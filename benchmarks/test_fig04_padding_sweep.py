@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 4 (slowdown vs fixed padding size)."""
+
+from repro.experiments import fig04_padding_sweep
+
+
+def test_fig04_padding_sweep(once):
+    result = once(fig04_padding_sweep.run, instructions=60_000)
+    print()
+    print(fig04_padding_sweep.render(result))
+    averages = result.averages()
+    # Shape: monotone-ish growth, 7B costs more than 1B, both positive.
+    assert averages[1] > 0
+    assert averages[7] > averages[1]
+    assert averages[7] < 0.20  # same order of magnitude as the paper's 7.6 %

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 10 (+1-cycle L2/L3 latency)."""
+
+from repro.experiments import fig10_extra_latency
+
+
+def test_fig10_extra_latency(once):
+    result = once(fig10_extra_latency.run, instructions=60_000)
+    print()
+    print(fig10_extra_latency.render(result))
+    # Shape: every benchmark slows a little; average stays small.
+    assert all(0 < entry.mean < 0.06 for entry in result.per_benchmark)
+    assert result.average < 0.03
+    # Compute-bound benchmarks sit at the bottom of the ranking.
+    ranking = sorted(result.per_benchmark, key=lambda entry: entry.mean)
+    bottom = {entry.benchmark for entry in ranking[:6]}
+    assert {"hmmer", "sjeng"} & bottom

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 11 (opportunistic & full policies)."""
+
+from repro.experiments import fig11_policies
+
+
+def test_fig11_policies(once):
+    result = once(fig11_policies.run, instructions=60_000)
+    print()
+    print(fig11_policies.render(result))
+    averages = result.averages()
+    # Shape relations the paper's Figure 11 demonstrates.
+    assert averages["full 1-7B"] >= averages["full 1-3B"] - 0.01
+    assert averages["full 1-7B +CFORM"] > averages["full 1-7B"]
+    assert averages["full 1-7B +CFORM"] > averages["opportunistic +CFORM"]
+    # The malloc-intensive outliers exceed 10 % with CFORM.
+    opp = result.configurations["opportunistic +CFORM"]
+    assert opp.benchmark("perlbench").mean > 0.10
+    assert opp.benchmark("gobmk").mean > 0.10

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 12 (intelligent policy)."""
+
+from repro.experiments import fig11_policies, fig12_intelligent
+
+
+def test_fig12_intelligent(once):
+    result = once(fig12_intelligent.run, instructions=60_000)
+    print()
+    print(fig12_intelligent.render(result))
+    averages = result.averages()
+    # Without CFORM the intelligent policy is nearly free (paper: 0.2 %).
+    assert averages["intelligent 1-7B"] < 0.02
+    # CFORM work raises the average but keeps it far below full policy.
+    assert averages["intelligent 1-7B +CFORM"] > averages["intelligent 1-7B"]
+    fig11_result = fig11_policies.run(instructions=60_000)
+    assert (
+        averages["intelligent 1-7B +CFORM"]
+        < fig11_result.averages()["full 1-7B +CFORM"]
+    )
+    # gobmk is the standout (paper 16.1 %).
+    suite = result.configurations["intelligent 1-7B +CFORM"]
+    assert suite.benchmark("gobmk").mean > 0.08

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the Section 7.3 derandomization analysis."""
+
+import pytest
+
+from repro.experiments import sec7_derandomization
+
+
+def test_sec7_derandomization(once):
+    result = once(sec7_derandomization.run, trials=300)
+    print()
+    print(sec7_derandomization.render(result))
+    # Paper: scan success collapses by O = 250 at 10 % padding.
+    assert result.scan_curve[250] < 1e-11
+    assert result.guess_curve[3] == pytest.approx(1 / 343)
+    # Monte-Carlo agrees in order of magnitude with the analytics.
+    assert result.simulated_guess_success < 0.02

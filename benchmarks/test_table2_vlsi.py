@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 (VLSI area/delay/power)."""
+
+import pytest
+
+from repro.experiments import tables
+
+
+def test_table2_vlsi(once):
+    rows = once(tables.table2_rows)
+    print()
+    print(tables.render_table2())
+    main = rows[1]
+    assert main["area_overhead_pct"] == pytest.approx(18.69, abs=2.0)
+    assert main["delay_overhead_pct"] == pytest.approx(1.85, abs=1.0)
+    assert main["spill_delay_ns"] == pytest.approx(5.50, abs=0.6)
+    assert main["fill_delay_ns"] < 1.62  # fits within the L1 access period

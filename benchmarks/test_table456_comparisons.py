@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Tables 4/5/6 and the measured detection matrix."""
+
+from repro.analysis.attacks import ATTACK_NAMES, detection_matrix
+from repro.baselines.comparison import implemented_models
+from repro.experiments import tables
+
+
+def test_tables456_comparisons(once):
+    text = once(tables.render_tables456)
+    print()
+    print(text)
+    matrix = detection_matrix(implemented_models())
+    # Califorms detects the full suite; no baseline does.
+    assert all(matrix["Califorms"][attack] for attack in ATTACK_NAMES)
+    for scheme, row in matrix.items():
+        if scheme != "Califorms":
+            assert not all(row.values()), scheme

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 7 (L1 Califorms variants)."""
+
+import pytest
+
+from repro.experiments import tables
+
+
+def test_table7_vlsi_variants(once):
+    rows = once(tables.table7_rows)
+    print()
+    print(tables.render_table7())
+    by_name = {row["design"]: row for row in rows}
+    # Paper: 4B and 1B variants add ~49 % and ~22 % L1 hit delay.
+    assert by_name["Califorms-4B"]["delay_overhead_pct"] == pytest.approx(
+        49.38, abs=6.0
+    )
+    assert by_name["Califorms-1B"]["delay_overhead_pct"] == pytest.approx(
+        22.22, abs=4.0
+    )
+    # Area ranking follows metadata density: 8B > 4B > 1B.
+    assert (
+        by_name["Califorms-8B"]["area_overhead_pct"]
+        > by_name["Califorms-4B"]["area_overhead_pct"]
+        > by_name["Califorms-1B"]["area_overhead_pct"]
+    )

@@ -1,0 +1,82 @@
+"""Cache-line forensics: watch a califormed line change format.
+
+Follows one 64-byte line through the memory hierarchy, printing its
+physical representation at each level:
+
+* califorms-bitvector in the L1 (64 data bytes + 64-bit mask),
+* califorms-sentinel in the L2/L3/DRAM (header + relocated bytes +
+  sentinel marks, one metadata bit),
+* the Appendix A 4B/1B alternatives for the same logical line.
+
+    python examples/cacheline_forensics.py
+"""
+
+from repro.core import bitvector as bv
+from repro.core.cform import CformRequest
+from repro.core.line_formats import BitvectorLine
+from repro.core.sentinel import decode, encode, find_sentinel
+from repro.core.variants import encode_1b, encode_4b
+from repro.memory.cache import CacheGeometry
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+def hexdump(data: bytes, mask: int = 0) -> str:
+    """One-line hexdump with security bytes bracketed."""
+    parts = []
+    for index, value in enumerate(data[:32]):
+        text = f"{value:02x}"
+        parts.append(f"[{text}]" if bv.test_bit(mask, index) else f" {text} ")
+    return "".join(parts) + (" ..." if len(data) > 32 else "")
+
+
+def main() -> None:
+    data = bytearray(range(64))
+    secmask = bv.mask_from_indices([1, 2, 3, 20, 21, 40])
+    line = BitvectorLine(data, secmask)
+
+    print("L1 view (califorms-bitvector, 8B metadata):")
+    print(f"  data: {hexdump(bytes(line.data), line.secmask)}")
+    print(f"  mask: {line.secmask:#018x}\n")
+
+    encoded = encode(line)
+    sentinel = find_sentinel(bytes(line.data), line.secmask)
+    print("L2+ view (califorms-sentinel, 1-bit metadata):")
+    print(f"  raw:  {hexdump(encoded.raw)}")
+    print(f"  califormed bit: {int(encoded.califormed)}")
+    print(f"  header code: {encoded.raw[0] & 0b11:02b} "
+          f"(={bin(encoded.raw[0] & 3).count('1') and ''}{(encoded.raw[0] & 3) + 1}"
+          " listed security bytes), sentinel value:", sentinel, "\n")
+
+    restored = decode(encoded)
+    assert bytes(restored.data) == bytes(line.data)
+    assert restored.secmask == line.secmask
+    print("fill (Algorithm 2) restores the exact L1 view: OK\n")
+
+    print("Appendix A variants for the same logical line:")
+    four_b = encode_4b(line)
+    one_b = encode_1b(line)
+    print(f"  califorms-4B: chunk mask {four_b.chunk_califormed:08b}, "
+          f"vector slots {four_b.vector_slot}")
+    print(f"  califorms-1B: chunk mask {one_b.chunk_califormed:08b}, "
+          f"metadata {one_b.metadata_bits} bits/line\n")
+
+    # Through an actual tiny hierarchy: evict to DRAM and re-fetch.
+    hierarchy = MemoryHierarchy(
+        HierarchyConfig(
+            l1_geometry=CacheGeometry(2 * 64, 1),
+            l2_geometry=CacheGeometry(4 * 64, 2),
+            l3_geometry=CacheGeometry(8 * 64, 2),
+        )
+    )
+    hierarchy.store_or_raise(0, bytes(range(4)))
+    hierarchy.cform(CformRequest.set_bytes(0, [20, 21]))
+    hierarchy.flush_all()
+    print("after flushing the hierarchy:")
+    print(f"  DRAM lines using their ECC spare bit: "
+          f"{hierarchy.dram.califormed_line_count()}")
+    print(f"  refetched data: {hierarchy.load_or_raise(0, 4)!r}")
+    print(f"  security mask survives: {hierarchy.secmask_of(0):#x}")
+
+
+if __name__ == "__main__":
+    main()

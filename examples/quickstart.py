@@ -1,0 +1,65 @@
+"""Quickstart: protect a struct with Califorms and catch an overflow.
+
+Runs the paper's Listing 1 example end to end: declare ``struct A``,
+let the compiler pass insert security bytes, allocate an instance on the
+simulated califormed heap, use it legitimately, then watch an
+intra-object overflow from ``buf`` into the function pointer raise the
+privileged Califorms exception.
+
+    python examples/quickstart.py
+"""
+
+from repro.core.exceptions import SecurityByteAccess
+from repro.softstack.ctypes_model import LISTING_1_STRUCT_A
+from repro.softstack.insertion import Policy
+from repro.softstack.runtime import Process
+
+
+def main() -> None:
+    # A process compiled with the full insertion policy (random 1-7 B
+    # security-byte spans around every field).
+    process = Process(policy=Policy.FULL, seed=2024)
+    layout = process.declare(LISTING_1_STRUCT_A)
+
+    print("struct A after the Califorms compiler pass:")
+    for name in ("c", "i", "buf", "fp", "d"):
+        print(f"  {name:4s} at offset {layout.offset_of(name):3d}")
+    print(f"  security spans: {[(s.offset, s.size) for s in layout.spans]}")
+    print(f"  size {layout.base.size} -> {layout.size} bytes\n")
+
+    # Normal use: fields read and write exactly as before.
+    obj = process.new("A")
+    process.write_field(obj, "i", (1234).to_bytes(4, "little"))
+    process.write_field(obj, "buf", b"A" * 64)
+    value = int.from_bytes(process.read_field(obj, "i"), "little")
+    print(f"legitimate access: obj.i == {value}")
+
+    # The attack: write 65 bytes into the 64-byte buf, clobbering the
+    # security span guarding fp.
+    buf_address = process.field_address(obj, "buf")
+    print("attempting 65-byte write into buf[64] ...")
+    try:
+        process.raw_write(buf_address, b"B" * 65)
+    except SecurityByteAccess as caught:
+        print(f"  CAUGHT: {caught}")
+    else:
+        raise SystemExit("overflow was not detected — this should not happen")
+
+    # Temporal safety: the object is blacklisted again after free.
+    field = process.field_address(obj, "i")
+    process.delete(obj)
+    print("attempting use-after-free read ...")
+    try:
+        process.raw_read(field, 4)
+    except SecurityByteAccess as caught:
+        print(f"  CAUGHT: {caught}")
+
+    stats = process.heap.stats
+    print(
+        f"\nheap stats: {stats.mallocs} mallocs, {stats.frees} frees, "
+        f"{stats.cform_instructions} CFORM instructions issued"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Temporal safety walkthrough: use-after-free, double free, quarantine.
+
+Demonstrates the clean-before-use heap of Section 6.1 on the live
+simulator: freed memory is re-blacklisted *and zeroed*, quarantine delays
+reuse, double frees trap, and the stack's dirty-before-use discipline
+protects locals per frame.
+
+    python examples/temporal_safety.py
+"""
+
+from repro.core.exceptions import SecurityByteAccess
+from repro.softstack.allocator import HeapError
+from repro.softstack.ctypes_model import CHAR, INT, LISTING_1_STRUCT_A, Array, struct
+from repro.softstack.insertion import Policy
+from repro.softstack.runtime import Process
+
+
+def main() -> None:
+    process = Process(policy=Policy.FULL, seed=11)
+    secret_t = struct("secret", ("key", Array(CHAR, 16)), ("uses", INT))
+    process.declare(secret_t)
+
+    # --- use-after-free ---------------------------------------------------
+    obj = process.new("secret")
+    process.write_field(obj, "key", b"hunter2_hunter2!")
+    key_address = process.field_address(obj, "key")
+    process.delete(obj)
+    print("use-after-free read of obj.key ...")
+    try:
+        process.raw_read(key_address, 16)
+    except SecurityByteAccess as caught:
+        print(f"  CAUGHT: {caught}")
+
+    # Even a whitelisted reader (think: kernel memcpy) sees zeros — the
+    # hardware zeroed the bytes on free, so no stale secrets leak.
+    leaked = process.io_write(key_address, 16)
+    print(f"  whitelisted read sees: {leaked!r} (zeroed, no secret leak)\n")
+
+    # --- double free -------------------------------------------------------
+    print("double free ...")
+    victim = process.new("secret")
+    process.delete(victim)
+    try:
+        process.heap.free(victim.allocation)
+    except Exception as caught:  # HeapError or CformUsageError
+        print(f"  CAUGHT: {type(caught).__name__}: {caught}\n")
+
+    # --- quarantine --------------------------------------------------------
+    print("quarantine: freed addresses are not immediately reused")
+    first = process.new("secret")
+    first_address = first.address
+    process.delete(first)
+    second = process.new("secret")
+    print(f"  freed at {first_address:#x}, next malloc at {second.address:#x} "
+          f"({'different' if second.address != first_address else 'same'})\n")
+
+    # --- stack locals (dirty-before-use) ------------------------------------
+    print("stack frame with a protected local ...")
+    process.declare(LISTING_1_STRUCT_A)
+    frame = process.push_frame({"local": "A"})
+    layout, base = frame.locals["local"]
+    span = layout.spans[0]
+    try:
+        process.raw_read(base + span.offset, 1)
+    except SecurityByteAccess:
+        print("  local's security span traps while the frame is live")
+    process.pop_frame()
+    process.raw_read(base + span.offset, 1)
+    print("  after return, the same bytes are ordinary stack memory again")
+
+    assert isinstance(HeapError, type)  # re-exported for users
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Analysis layer: timing sweeps, VLSI costs, security analytics, attacks.
+
+* :mod:`repro.analysis.suite` — benchmark-suite slowdown sweeps.
+* :mod:`repro.analysis.vlsi` — the Tables 2/7 gate-equivalent model.
+* :mod:`repro.analysis.security` — Section 7.3 derandomization math.
+* :mod:`repro.analysis.attacks` — the cross-scheme attack simulator.
+"""
+
+from repro.analysis.attacks import (
+    ATTACK_NAMES,
+    AttackResult,
+    AttackSuiteReport,
+    detection_matrix,
+    render_matrix,
+    run_attack_suite,
+)
+from repro.analysis.security import (
+    guess_success_probability,
+    objects_for_target_probability,
+    paper_headline_numbers,
+    scan_success_probability,
+    simulate_guess_attack,
+    simulate_scan_attack,
+)
+from repro.analysis.suite import (
+    BenchmarkSlowdown,
+    SuiteResult,
+    render_suite,
+    sweep,
+)
+from repro.analysis.vlsi import (
+    baseline_l1,
+    califorms_1b_l1,
+    califorms_4b_l1,
+    califorms_8b_l1,
+    fill_cost,
+    spill_cost,
+    table2_rows,
+    table7_rows,
+)
+
+__all__ = [
+    "sweep",
+    "SuiteResult",
+    "BenchmarkSlowdown",
+    "render_suite",
+    "table2_rows",
+    "table7_rows",
+    "baseline_l1",
+    "califorms_8b_l1",
+    "califorms_4b_l1",
+    "califorms_1b_l1",
+    "fill_cost",
+    "spill_cost",
+    "scan_success_probability",
+    "objects_for_target_probability",
+    "guess_success_probability",
+    "simulate_scan_attack",
+    "simulate_guess_attack",
+    "paper_headline_numbers",
+    "run_attack_suite",
+    "detection_matrix",
+    "render_matrix",
+    "AttackResult",
+    "AttackSuiteReport",
+    "ATTACK_NAMES",
+]

@@ -1,0 +1,177 @@
+"""Attack simulator: one exploit suite run against every safety scheme.
+
+Extends the paper's qualitative Table 4 into a measured comparison: each
+attack is a concrete access pattern derived from a victim object with
+known intra-object dead spans, and each scheme's functional model decides
+whether it fires.  The Califorms row is additionally cross-checked against
+the *real* simulated hardware by the integration tests.
+
+Attacks modelled (Sections 7.2/7.3 plus the classic heap suite):
+
+==========================  =====================================================
+``intra_overflow``          write past an array into the next field (same object)
+``intra_overread``          read past an array inside the object
+``adjacent_overflow``       contiguous write past the end of the object
+``adjacent_overread``       contiguous read past the end of the object
+``off_by_one``              single-byte overflow
+``jump_overflow``           skip ``K`` bytes past the end (defeats fixed redzones)
+``underflow``               write before the object start
+``use_after_free``          dereference after free
+``heap_scan``               sweep a window of the heap looking for targets
+==========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.baselines.base import SafetyModel, TrackedAllocation
+
+#: Placement used for every scheme: victim then a contiguous neighbour.
+_VICTIM_BASE = 0x100000
+_VICTIM_SIZE = 96
+#: Dead spans inside the victim (e.g. padding after an array field).
+_VICTIM_SPANS = ((40, 3), (72, 5))
+_ARRAY_OFFSET = 8
+_ARRAY_END = 40  # the array abuts the first dead span
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack against one scheme."""
+
+    attack: str
+    scheme: str
+    detected: bool
+    detail: str = ""
+
+
+@dataclass
+class AttackSuiteReport:
+    """All results for one scheme, with a detection-rate summary."""
+
+    scheme: str
+    results: list[AttackResult] = field(default_factory=list)
+
+    def detected(self, attack: str) -> bool:
+        for result in self.results:
+            if result.attack == attack:
+                return result.detected
+        raise KeyError(attack)
+
+    @property
+    def detection_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.detected for r in self.results) / len(self.results)
+
+
+def _setup(model: SafetyModel) -> tuple[TrackedAllocation, TrackedAllocation]:
+    victim = model.on_alloc(_VICTIM_BASE, _VICTIM_SIZE, intra_spans=_VICTIM_SPANS)
+    neighbour = model.on_alloc(_VICTIM_BASE + _VICTIM_SIZE + 64, 64)
+    return victim, neighbour
+
+
+def run_attack_suite(model: SafetyModel, seed: int = 0) -> AttackSuiteReport:
+    """Run every attack against a fresh instance state of ``model``."""
+    rng = random.Random(seed)
+    victim, _neighbour = _setup(model)
+    report = AttackSuiteReport(scheme=model.name)
+
+    def record(attack: str, violation) -> None:
+        report.results.append(
+            AttackResult(
+                attack=attack,
+                scheme=model.name,
+                detected=violation is not None,
+                detail=violation.reason if violation is not None else "",
+            )
+        )
+
+    base = victim.address
+
+    # Intra-object: run from inside the array across the dead span.
+    record(
+        "intra_overflow",
+        model.check_access(victim, base + _ARRAY_END - 4, 8, True),
+    )
+    record(
+        "intra_overread",
+        model.check_access(victim, base + _ARRAY_END - 4, 8, False),
+    )
+    # Contiguous past-the-end accesses.
+    record(
+        "adjacent_overflow",
+        model.check_access(victim, base + _VICTIM_SIZE, 8, True),
+    )
+    record(
+        "adjacent_overread",
+        model.check_access(victim, base + _VICTIM_SIZE, 8, False),
+    )
+    record(
+        "off_by_one",
+        model.check_access(victim, base + _VICTIM_SIZE, 1, True),
+    )
+    # Jump far enough to clear the victim's redzone AND the neighbour:
+    # lands in unallocated heap past the neighbour's trailing guard.
+    record(
+        "jump_overflow",
+        model.check_access(victim, base + _VICTIM_SIZE + 240, 8, True),
+    )
+    record("underflow", model.check_access(victim, base - 4, 4, True))
+    # Temporal: free, then dereference.
+    model.on_free(victim)
+    record(
+        "use_after_free",
+        model.check_access(victim, base + 16, 8, False),
+    )
+    # Scan: probe random addresses across the victim's old region.
+    scan_hit = None
+    for _ in range(32):
+        probe = base + rng.randrange(_VICTIM_SIZE)
+        scan_hit = scan_hit or model.check_access(victim, probe, 4, False)
+    record("heap_scan", scan_hit)
+    return report
+
+
+ATTACK_NAMES = (
+    "intra_overflow",
+    "intra_overread",
+    "adjacent_overflow",
+    "adjacent_overread",
+    "off_by_one",
+    "jump_overflow",
+    "underflow",
+    "use_after_free",
+    "heap_scan",
+)
+
+
+def detection_matrix(models: list[SafetyModel], seed: int = 0) -> dict[str, dict[str, bool]]:
+    """{scheme: {attack: detected}} over a list of fresh models."""
+    matrix: dict[str, dict[str, bool]] = {}
+    for model in models:
+        report = run_attack_suite(model, seed=seed)
+        matrix[model.name] = {
+            result.attack: result.detected for result in report.results
+        }
+    return matrix
+
+
+def render_matrix(matrix: dict[str, dict[str, bool]]) -> str:
+    """ASCII table: attacks down, schemes across."""
+    schemes = list(matrix)
+    width = max(len(name) for name in ATTACK_NAMES) + 2
+    columns = [min(len(s), 12) + 2 for s in schemes]
+    header = "attack".ljust(width) + "".join(
+        s[:12].ljust(c) for s, c in zip(schemes, columns)
+    )
+    lines = [header, "-" * len(header)]
+    for attack in ATTACK_NAMES:
+        row = attack.ljust(width)
+        for scheme, column in zip(schemes, columns):
+            mark = "DETECT" if matrix[scheme][attack] else "-"
+            row += mark.ljust(column)
+        lines.append(row)
+    return "\n".join(lines)

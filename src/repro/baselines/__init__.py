@@ -1,0 +1,50 @@
+"""Section 9 baseline schemes and the Tables 4-6 comparison machinery.
+
+* :mod:`repro.baselines.whitelisting` — MPX-style bounds, ADI colouring.
+* :mod:`repro.baselines.tripwires` — REST, SafeMem, software canaries.
+* :mod:`repro.baselines.califorms_model` — Califorms in the same harness.
+* :mod:`repro.baselines.comparison` — Tables 4/5/6 row generation.
+"""
+
+from repro.baselines.base import (
+    DetectionTime,
+    RegionSet,
+    SafetyModel,
+    SchemeTraits,
+    TrackedAllocation,
+    Violation,
+)
+from repro.baselines.califorms_model import CaliformsModel
+from repro.baselines.comparison import (
+    TABLE4,
+    TABLE5,
+    TABLE6,
+    all_traits,
+    implemented_models,
+    render_table,
+    table_rows,
+)
+from repro.baselines.tripwires import CanaryModel, RestModel, SafeMemModel
+from repro.baselines.whitelisting import AdiModel, MpxModel
+
+__all__ = [
+    "SafetyModel",
+    "SchemeTraits",
+    "TrackedAllocation",
+    "Violation",
+    "DetectionTime",
+    "RegionSet",
+    "MpxModel",
+    "AdiModel",
+    "RestModel",
+    "SafeMemModel",
+    "CanaryModel",
+    "CaliformsModel",
+    "implemented_models",
+    "all_traits",
+    "table_rows",
+    "render_table",
+    "TABLE4",
+    "TABLE5",
+    "TABLE6",
+]

@@ -1,0 +1,164 @@
+"""Common interface for the Section 9 baseline memory-safety schemes.
+
+Each prior scheme (Hardbound/MPX-style whitelisting, ADI-style colouring,
+REST/SafeMem-style tripwires, software canaries) is modelled functionally:
+enough mechanism to decide *which accesses it detects*, so the security
+experiments can run one attack suite across every scheme and reproduce
+Table 4's comparison quantitatively, not just as a checklist.
+
+The models manage their own flat address space bookkeeping — they are
+comparison points, not part of the Califorms hierarchy.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+
+
+class DetectionTime(enum.Enum):
+    """When a scheme notices a violation."""
+
+    IMMEDIATE = "immediate"  # hardware trap at the access
+    DEFERRED = "deferred"  # discovered at a later check (canaries)
+    NEVER = "never"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected illegal access."""
+
+    scheme: str
+    address: int
+    size: int
+    is_write: bool
+    when: DetectionTime
+    reason: str
+
+
+@dataclass(frozen=True)
+class SchemeTraits:
+    """The qualitative rows of Tables 4/5/6 for one scheme."""
+
+    name: str
+    # Table 4 — security.
+    granularity: str
+    intra_object: str  # "yes" / "no" / "with bounds narrowing" ...
+    binary_composability: str
+    temporal_safety: str
+    # Table 5 — performance.
+    metadata_overhead: str
+    memory_overhead_scaling: str
+    performance_overhead_scaling: str
+    main_operations: str
+    # Table 6 — implementation complexity.
+    core_changes: str
+    cache_changes: str
+    memory_changes: str
+    software_changes: str
+
+
+@dataclass
+class TrackedAllocation:
+    """A live object as seen by a baseline model."""
+
+    pointer_id: int
+    address: int
+    size: int
+    #: Intra-object dead spans (offset, size) the program never uses —
+    #: what Califorms blacklists; most baselines cannot represent them.
+    intra_spans: tuple[tuple[int, int], ...] = ()
+    color: int | None = None
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+
+class SafetyModel(abc.ABC):
+    """A functional detection model for one protection scheme."""
+
+    #: Subclasses set this to their Tables 4-6 row.
+    traits: SchemeTraits
+
+    def __init__(self) -> None:
+        self._next_pointer = 1
+        self.live: dict[int, TrackedAllocation] = {}
+
+    @property
+    def name(self) -> str:
+        return self.traits.name
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def on_alloc(
+        self,
+        address: int,
+        size: int,
+        intra_spans: tuple[tuple[int, int], ...] = (),
+    ) -> TrackedAllocation:
+        """Register a new object; returns the tracked record ("pointer")."""
+        allocation = TrackedAllocation(
+            pointer_id=self._next_pointer,
+            address=address,
+            size=size,
+            intra_spans=intra_spans,
+        )
+        self._next_pointer += 1
+        self.live[allocation.pointer_id] = allocation
+        self._protect(allocation)
+        return allocation
+
+    def on_free(self, allocation: TrackedAllocation) -> None:
+        """Unregister an object (schemes may quarantine/recolour)."""
+        self.live.pop(allocation.pointer_id, None)
+        self._unprotect(allocation)
+
+    # -- the access check ----------------------------------------------------
+
+    @abc.abstractmethod
+    def check_access(
+        self,
+        allocation: TrackedAllocation | None,
+        address: int,
+        size: int,
+        is_write: bool,
+    ) -> Violation | None:
+        """Decide whether the scheme flags this access.
+
+        ``allocation`` is the object the attacker's pointer is derived
+        from (None for wild accesses) — pointer-based schemes use it,
+        location-based schemes ignore it.
+        """
+
+    # -- hooks ------------------------------------------------------------------
+
+    def _protect(self, allocation: TrackedAllocation) -> None:
+        """Scheme-specific work at allocation time."""
+
+    def _unprotect(self, allocation: TrackedAllocation) -> None:
+        """Scheme-specific work at free time."""
+
+
+@dataclass
+class RegionSet:
+    """Sorted set of blacklisted byte regions with overlap queries."""
+
+    _regions: list[tuple[int, int]] = field(default_factory=list)
+
+    def add(self, start: int, size: int) -> None:
+        if size > 0:
+            self._regions.append((start, start + size))
+
+    def remove(self, start: int, size: int) -> None:
+        self._regions = [
+            region for region in self._regions if region != (start, start + size)
+        ]
+
+    def overlaps(self, start: int, size: int) -> bool:
+        end = start + size
+        return any(start < r_end and r_start < end for r_start, r_end in self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)

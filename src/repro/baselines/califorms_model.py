@@ -1,0 +1,90 @@
+"""Califorms wrapped in the baseline-comparison interface.
+
+The real system lives in :mod:`repro.memory`/:mod:`repro.softstack`; this
+adapter exposes the same ``check_access`` contract as the Section 9
+baselines so one attack suite can rank every scheme side by side.  It is
+deliberately implemented on the same :class:`RegionSet` bookkeeping as
+the other models — the detection *decision* (is any touched byte
+blacklisted?) is what is compared, and the functional hierarchy tests
+already prove the hardware enforces exactly that decision.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    DetectionTime,
+    RegionSet,
+    SafetyModel,
+    SchemeTraits,
+    TrackedAllocation,
+    Violation,
+)
+
+
+class CaliformsModel(SafetyModel):
+    """Byte-granular blacklisting with intra-object spans + quarantine.
+
+    Under the clean-before-use heap discipline (Section 6.1) every byte
+    that is not live object data is a security byte: the intra-object
+    spans, the freed/quarantined regions, and the arena between and
+    around allocations.  ``check_access`` therefore flags any byte that
+    is blacklisted *or simply not inside a live object's data*.
+    """
+
+    traits = SchemeTraits(
+        name="Califorms",
+        granularity="byte",
+        intra_object="yes",
+        binary_composability="yes",
+        temporal_safety="yes (quarantine)",
+        metadata_overhead="byte-granular security bytes (in dead space)",
+        memory_overhead_scaling="~ blacklisted memory",
+        performance_overhead_scaling="~ # of CFORM insns",
+        main_operations="execute CFORM insns",
+        core_changes="none",
+        cache_changes="8b per L1D line, 1b per L2/L3 line",
+        memory_changes="uses spare ECC bit",
+        software_changes="compiler inserts spans; allocator (un)sets tags",
+    )
+
+    def __init__(self):
+        super().__init__()
+        self.blacklisted = RegionSet()
+        self._live_regions: dict[int, tuple[int, int]] = {}
+
+    def _protect(self, allocation: TrackedAllocation) -> None:
+        self._live_regions[allocation.pointer_id] = (
+            allocation.address,
+            allocation.end,
+        )
+        for offset, size in allocation.intra_spans:
+            self.blacklisted.add(allocation.address + offset, size)
+
+    def _unprotect(self, allocation: TrackedAllocation) -> None:
+        # Remove the intra-object spans, then blacklist the whole region
+        # (clean-before-use + quarantine).
+        self._live_regions.pop(allocation.pointer_id, None)
+        for offset, size in allocation.intra_spans:
+            self.blacklisted.remove(allocation.address + offset, size)
+        self.blacklisted.add(allocation.address, allocation.size)
+
+    def _inside_live_object(self, address: int, size: int) -> bool:
+        remaining = set(range(address, address + size))
+        for start, end in self._live_regions.values():
+            remaining -= set(range(max(start, address), min(end, address + size)))
+            if not remaining:
+                return True
+        return not remaining
+
+    def check_access(self, allocation, address, size, is_write):
+        if self.blacklisted.overlaps(address, size):
+            return Violation(
+                self.name, address, size, is_write, DetectionTime.IMMEDIATE,
+                "access touched a security byte",
+            )
+        if not self._inside_live_object(address, size):
+            return Violation(
+                self.name, address, size, is_write, DetectionTime.IMMEDIATE,
+                "access touched blacklisted arena bytes",
+            )
+        return None

@@ -1,0 +1,169 @@
+"""The Section 9 comparison matrices (Tables 4, 5 and 6).
+
+Rows are generated from each implemented scheme's ``traits`` plus static
+entries for the schemes the paper tabulates but whose mechanisms add
+nothing to our attack-simulation comparison (Watchdog, PUMP, CHERI
+variants, BOGO).  Printing helpers render the same row/column structure
+the paper uses, so the benchmark drivers can regenerate the tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import SchemeTraits
+from repro.baselines.califorms_model import CaliformsModel
+from repro.baselines.tripwires import CanaryModel, RestModel, SafeMemModel
+from repro.baselines.whitelisting import AdiModel, MpxModel
+
+#: Static rows for paper-tabulated schemes we do not functionally model.
+_LITERATURE_ROWS: list[SchemeTraits] = [
+    SchemeTraits(
+        name="Hardbound",
+        granularity="byte",
+        intra_object="with bounds narrowing",
+        binary_composability="no",
+        temporal_safety="no",
+        metadata_overhead="0-2 words per ptr + 4b per word",
+        memory_overhead_scaling="~ # of ptrs and program footprint",
+        performance_overhead_scaling="~ # of ptr dereferences",
+        main_operations="1-2 mem refs for bounds; check uops",
+        core_changes="uop injection; extended reg file",
+        cache_changes="tag cache + its TLB",
+        memory_changes="shadow metadata space",
+        software_changes="compiler & allocator annotate pointers",
+    ),
+    SchemeTraits(
+        name="Watchdog",
+        granularity="byte",
+        intra_object="with bounds narrowing",
+        binary_composability="no",
+        temporal_safety="yes",
+        metadata_overhead="4 words per ptr",
+        memory_overhead_scaling="~ # of ptrs and allocations",
+        performance_overhead_scaling="~ # of ptr dereferences",
+        main_operations="1-3 mem refs for bounds; check uops",
+        core_changes="uop injection; extended reg file",
+        cache_changes="pointer-lock cache",
+        memory_changes="shadow metadata space",
+        software_changes="compiler & allocator annotate pointers",
+    ),
+    SchemeTraits(
+        name="PUMP",
+        granularity="word",
+        intra_object="no",
+        binary_composability="yes",
+        temporal_safety="yes",
+        metadata_overhead="64b per cache line",
+        memory_overhead_scaling="~ program memory footprint",
+        performance_overhead_scaling="~ # of ptr ops",
+        main_operations="fetch & check rules; propagate tags",
+        core_changes="tag-extended datapath; new miss handler",
+        cache_changes="rule cache",
+        memory_changes="tag storage",
+        software_changes="compiler & allocator set tags",
+    ),
+    SchemeTraits(
+        name="CHERI",
+        granularity="byte",
+        intra_object="no (forgoes bounds narrowing)",
+        binary_composability="no",
+        temporal_safety="no",
+        metadata_overhead="256b per ptr",
+        memory_overhead_scaling="~ # of ptrs and physical memory",
+        performance_overhead_scaling="~ # of ptr ops",
+        main_operations="capability loads; management insns",
+        core_changes="capability reg file + coprocessor",
+        cache_changes="capability caches",
+        memory_changes="capability storage",
+        software_changes="compiler & allocator annotate pointers",
+    ),
+]
+
+
+def implemented_models() -> list:
+    """Fresh instances of every functionally-modelled scheme."""
+    return [
+        MpxModel(),
+        AdiModel(),
+        SafeMemModel(),
+        RestModel(),
+        CanaryModel(),
+        CaliformsModel(),
+    ]
+
+
+def all_traits() -> list[SchemeTraits]:
+    """Every row of the comparison tables, Califorms last (as the paper)."""
+    implemented = [type(model).traits for model in implemented_models()]
+    califorms = [t for t in implemented if t.name == "Califorms"]
+    others = [t for t in implemented if t.name != "Califorms"]
+    return _LITERATURE_ROWS + others + califorms
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Column selection for one of the paper's comparison tables."""
+
+    title: str
+    columns: tuple[tuple[str, str], ...]  # (header, traits attribute)
+
+
+TABLE4 = TableSpec(
+    title="Table 4: security comparison",
+    columns=(
+        ("Proposal", "name"),
+        ("Protection granularity", "granularity"),
+        ("Intra-object", "intra_object"),
+        ("Binary composability", "binary_composability"),
+        ("Temporal safety", "temporal_safety"),
+    ),
+)
+
+TABLE5 = TableSpec(
+    title="Table 5: performance comparison",
+    columns=(
+        ("Proposal", "name"),
+        ("Metadata overhead", "metadata_overhead"),
+        ("Memory overhead", "memory_overhead_scaling"),
+        ("Performance overhead", "performance_overhead_scaling"),
+        ("Main operations", "main_operations"),
+    ),
+)
+
+TABLE6 = TableSpec(
+    title="Table 6: implementation complexity",
+    columns=(
+        ("Proposal", "name"),
+        ("Core", "core_changes"),
+        ("Caches/TLB", "cache_changes"),
+        ("Memory", "memory_changes"),
+        ("Software", "software_changes"),
+    ),
+)
+
+
+def table_rows(spec: TableSpec) -> list[dict[str, str]]:
+    """Rows for one table: list of {header: value} dicts."""
+    return [
+        {header: getattr(traits, attribute) for header, attribute in spec.columns}
+        for traits in all_traits()
+    ]
+
+
+def render_table(spec: TableSpec) -> str:
+    """Render a comparison table as aligned plain text."""
+    rows = table_rows(spec)
+    headers = [header for header, _ in spec.columns]
+    widths = {
+        header: max(len(header), *(len(row[header]) for row in rows))
+        for header in headers
+    }
+    lines = [spec.title, ""]
+    lines.append("  ".join(header.ljust(widths[header]) for header in headers))
+    lines.append("  ".join("-" * widths[header] for header in headers))
+    for row in rows:
+        lines.append(
+            "  ".join(row[header].ljust(widths[header]) for header in headers)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""randstruct-style layout randomization and the BROP counter-attack.
+
+Section 7.3 compares Califorms' randomness to the Linux ``randstruct``
+plugin, which shuffles structure layouts at compile time but "does not
+offer detection of rogue accesses unlike Califorms", and notes that any
+*static* randomization is prone to BROP-style brute forcing — repeatedly
+crashing a restart-after-crash service until the guessed layout works —
+unless the service re-randomizes on respawn.
+
+Two pieces live here:
+
+* :class:`RandstructModel` — a baseline for the scheme comparison:
+  field order is shuffled (so blind overwrites of a *specific* field need
+  a guess) but nothing is ever detected.
+* :func:`simulate_brop` — the brute-force attack loop against a service
+  with configurable respawn behaviour, measuring attempts-to-success.
+  Against a fixed layout the expected attempts follow a geometric
+  distribution over the layout space; with per-respawn re-randomization
+  (the paper's proposed mitigation) success probability per attempt never
+  improves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.baselines.base import (
+    SafetyModel,
+    SchemeTraits,
+)
+from repro.softstack.ctypes_model import Struct
+from repro.softstack.insertion import full
+from repro.softstack.layout import layout_struct
+
+
+class RandstructModel(SafetyModel):
+    """Compile-time field shuffling: probabilistic, detection-free."""
+
+    traits = SchemeTraits(
+        name="randstruct (Linux)",
+        granularity="field order",
+        intra_object="probabilistic only",
+        binary_composability="no (layout baked per build)",
+        temporal_safety="no",
+        metadata_overhead="none",
+        memory_overhead_scaling="none",
+        performance_overhead_scaling="none",
+        main_operations="none at runtime",
+        core_changes="none",
+        cache_changes="none",
+        memory_changes="none",
+        software_changes="compiler shuffles annotated struct layouts",
+    )
+
+    def check_access(self, allocation, address, size, is_write):
+        return None  # never detects anything — that is the point
+
+
+@dataclass(frozen=True)
+class BropResult:
+    """Outcome of one BROP simulation."""
+
+    attempts: int
+    succeeded: bool
+    crashes: int
+
+
+class _ConstantRng:
+    """A stand-in RNG whose randint always returns one value."""
+
+    def __init__(self, value: int):
+        self._value = value
+
+    def randint(self, low: int, high: int) -> int:
+        return max(low, min(self._value, high))
+
+
+def offset_bounds(
+    struct: Struct, target_field: str, span_min: int, span_max: int
+) -> tuple[int, int]:
+    """Lowest/highest possible offset of a field under the full policy."""
+    natural = layout_struct(struct)
+    lowest = full(natural, _ConstantRng(span_min), span_min, span_max)
+    highest = full(natural, _ConstantRng(span_max), span_min, span_max)
+    return lowest.offset_of(target_field), highest.offset_of(target_field)
+
+
+def simulate_brop(
+    struct: Struct,
+    target_field: str,
+    rerandomize_on_respawn: bool,
+    max_attempts: int = 5000,
+    seed: int = 0,
+    span_min: int = 1,
+    span_max: int = 7,
+) -> BropResult:
+    """Brute-force a full-policy layout by crash-and-retry.
+
+    Each attempt guesses the randomized *offset* of ``target_field`` and
+    "writes" there.  A wrong guess touches a security byte or the wrong
+    field → crash → respawn.  Against a fixed layout the attacker
+    enumerates the (alignment-stepped) offset space and eventually wins;
+    with re-randomization on respawn every attempt faces a fresh draw and
+    accumulated knowledge is worthless — the paper's proposed mitigation.
+    """
+    rng = random.Random(seed)
+    natural = layout_struct(struct)
+    step = natural.slot(target_field).ctype.align
+    low, high = offset_bounds(struct, target_field, span_min, span_max)
+    candidates = list(range(low, high + 1, step)) or [low]
+
+    def fresh_layout():
+        return full(natural, rng, span_min, span_max)
+
+    layout = fresh_layout()
+    crashes = 0
+    for attempt in range(1, max_attempts + 1):
+        if rerandomize_on_respawn and crashes:
+            layout = fresh_layout()
+        if rerandomize_on_respawn:
+            guess = candidates[rng.randrange(len(candidates))]
+        else:
+            guess = candidates[(attempt - 1) % len(candidates)]
+        if guess == layout.offset_of(target_field):
+            return BropResult(attempts=attempt, succeeded=True, crashes=crashes)
+        crashes += 1
+    return BropResult(attempts=max_attempts, succeeded=False, crashes=crashes)

@@ -1,0 +1,160 @@
+"""Inlined-metadata blacklisting baselines: REST, SafeMem and canaries.
+
+These are Califorms' own family (Figure 13c).  The differences that
+matter, and that the models reproduce:
+
+* **REST** [27] blacklists 8-64 B token regions around objects and
+  quarantines freed memory.  Detection is immediate, but granularity is
+  the token size — intra-object spans are unaffordable.
+* **SafeMem** [26] repurposes ECC to poison whole cache lines: 64 B
+  granularity, no temporal story, and (as the paper notes) speculative
+  fetches can bypass it — modelled as a configurable miss probability on
+  reads.
+* **Canaries** (StackGuard-style) are software tripwires: only
+  *overwrites* are detectable, and only when the canary is checked later
+  — a window the attack simulator measures.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    DetectionTime,
+    RegionSet,
+    SafetyModel,
+    SchemeTraits,
+    TrackedAllocation,
+    Violation,
+)
+
+LINE = 64
+
+
+class RestModel(SafetyModel):
+    """REST: token (8-64 B) tripwires + quarantined frees."""
+
+    traits = SchemeTraits(
+        name="REST",
+        granularity="8-64B",
+        intra_object="no",
+        binary_composability="yes",
+        temporal_safety="yes (quarantine)",
+        metadata_overhead="8-64B token per blacklisted region",
+        memory_overhead_scaling="~ blacklisted memory",
+        performance_overhead_scaling="~ # of arm/disarm insns",
+        main_operations="execute arm/disarm insns",
+        core_changes="none",
+        cache_changes="1-8b per L1D line, 1 comparator",
+        memory_changes="none",
+        software_changes="allocator (un)sets tags, randomizes placement",
+    )
+
+    def __init__(self, token_size: int = 64):
+        super().__init__()
+        if not 8 <= token_size <= 64:
+            raise ValueError("REST tokens are 8-64 bytes")
+        self.token_size = token_size
+        self.blacklisted = RegionSet()
+
+    def _protect(self, allocation: TrackedAllocation) -> None:
+        self.blacklisted.add(allocation.address - self.token_size, self.token_size)
+        self.blacklisted.add(allocation.end, self.token_size)
+
+    def _unprotect(self, allocation: TrackedAllocation) -> None:
+        # Freed region becomes one big token (quarantine).
+        self.blacklisted.add(allocation.address, allocation.size)
+
+    def check_access(self, allocation, address, size, is_write):
+        if self.blacklisted.overlaps(address, size):
+            return Violation(
+                self.name, address, size, is_write, DetectionTime.IMMEDIATE,
+                "access overlapped REST token",
+            )
+        return None
+
+
+class SafeMemModel(SafetyModel):
+    """SafeMem: ECC-scrambled cache lines as tripwires."""
+
+    traits = SchemeTraits(
+        name="SafeMem",
+        granularity="cache line",
+        intra_object="no",
+        binary_composability="yes",
+        temporal_safety="no",
+        metadata_overhead="2x blacklisted memory",
+        memory_overhead_scaling="~ blacklisted memory",
+        performance_overhead_scaling="~ # of ECC (un)set ops",
+        main_operations="syscall to scramble ECC, copy data",
+        core_changes="none",
+        cache_changes="none",
+        memory_changes="repurposes ECC bits",
+        software_changes="syscall interface for scrambling",
+    )
+
+    def __init__(self, speculative_bypass: bool = False):
+        super().__init__()
+        self.speculative_bypass = speculative_bypass
+        self.poisoned_lines: set[int] = set()
+
+    def _protect(self, allocation: TrackedAllocation) -> None:
+        # Poison the guard lines adjacent to the object.
+        self.poisoned_lines.add((allocation.address - 1) // LINE)
+        self.poisoned_lines.add(allocation.end // LINE)
+
+    def check_access(self, allocation, address, size, is_write):
+        lines = range(address // LINE, (address + size - 1) // LINE + 1)
+        if any(line in self.poisoned_lines for line in lines):
+            if self.speculative_bypass and not is_write:
+                return None  # the paper's speculative-fetch bypass
+            return Violation(
+                self.name, address, size, is_write, DetectionTime.IMMEDIATE,
+                "access to ECC-scrambled line",
+            )
+        return None
+
+
+class CanaryModel(SafetyModel):
+    """StackGuard-style canaries: deferred, overwrite-only detection."""
+
+    traits = SchemeTraits(
+        name="Canaries (software)",
+        granularity="word",
+        intra_object="no",
+        binary_composability="yes",
+        temporal_safety="no",
+        metadata_overhead="8B canary per frame/object",
+        memory_overhead_scaling="~ # of protected objects",
+        performance_overhead_scaling="~ # of canary checks",
+        main_operations="store canary; compare at check points",
+        core_changes="none",
+        cache_changes="none",
+        memory_changes="none",
+        software_changes="compiler inserts canaries and checks",
+    )
+
+    CANARY_SIZE = 8
+
+    def __init__(self):
+        super().__init__()
+        self.canaries: dict[int, bool] = {}  # start -> intact?
+
+    def _protect(self, allocation: TrackedAllocation) -> None:
+        self.canaries[allocation.end] = True
+
+    def check_access(self, allocation, address, size, is_write):
+        for start, intact in self.canaries.items():
+            if address < start + self.CANARY_SIZE and start < address + size:
+                if is_write and intact:
+                    # Clobbered now; only *noticed* at the next check.
+                    self.canaries[start] = False
+                    return Violation(
+                        self.name, address, size, is_write,
+                        DetectionTime.DEFERRED,
+                        "canary overwritten (detected at check time)",
+                    )
+                return None  # overreads are invisible to canaries
+        return None
+
+    def run_checks(self) -> list[int]:
+        """The periodic canary verification; returns clobbered starts."""
+        return [start for start, intact in self.canaries.items() if not intact]

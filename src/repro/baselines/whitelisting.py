@@ -1,0 +1,145 @@
+"""Whitelisting baselines: MPX-style bounds and ADI-style colouring.
+
+* **Intel MPX / Hardbound** (disjoint metadata, Figure 13a): every
+  pointer carries base/bound; each dereference is checked.  Intra-object
+  protection requires *bounds narrowing*, which production compilers do
+  not implement (Section 9) — the model exposes it as an option so the
+  experiments can show both rows of Table 4.  Composability caveat:
+  bounds are dropped when a pointer passes through unprotected code.
+* **SPARC ADI** (cojoined metadata, Figure 13b): 4-bit colours per
+  cache-line granule, matched against the pointer's colour.  13 usable
+  colours mean reuse, and reuse means collisions — the model assigns
+  colours round-robin exactly so the attack simulator can measure the
+  collision escape rate Table 4 footnotes (¶"limited to 13 tags").
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.baselines.base import (
+    DetectionTime,
+    SafetyModel,
+    SchemeTraits,
+    TrackedAllocation,
+    Violation,
+)
+
+GRANULE = 64
+
+
+class MpxModel(SafetyModel):
+    """Per-pointer bounds checking (Intel MPX / Hardbound family)."""
+
+    traits = SchemeTraits(
+        name="Intel MPX",
+        granularity="byte",
+        intra_object="with bounds narrowing (unsupported by compilers)",
+        binary_composability="execution compatible; protection dropped",
+        temporal_safety="no",
+        metadata_overhead="2 words per pointer",
+        memory_overhead_scaling="~ # of pointers",
+        performance_overhead_scaling="~ # of pointer dereferences",
+        main_operations="2+ mem refs for bounds; check & propagate insns",
+        core_changes="bounds registers + check logic",
+        cache_changes="bounds-table entries compete for cache",
+        memory_changes="bounds tables in program memory",
+        software_changes="compiler annotates and checks every pointer",
+    )
+
+    def __init__(self, bounds_narrowing: bool = False):
+        super().__init__()
+        self.bounds_narrowing = bounds_narrowing
+        #: Pointers that passed through unprotected modules lose bounds.
+        self.laundered: set[int] = set()
+
+    def launder(self, allocation: TrackedAllocation) -> None:
+        """Model a pointer passing through an unprotected library."""
+        self.laundered.add(allocation.pointer_id)
+
+    def narrowed_bounds(
+        self, allocation: TrackedAllocation, address: int
+    ) -> tuple[int, int]:
+        """Bounds for the access: whole object, or the enclosing field
+        when bounds narrowing is enabled."""
+        if not self.bounds_narrowing or not allocation.intra_spans:
+            return allocation.address, allocation.end
+        # Narrow to the live region between surrounding dead spans.
+        start, end = allocation.address, allocation.end
+        for offset, size in allocation.intra_spans:
+            span_start = allocation.address + offset
+            span_end = span_start + size
+            if span_end <= address:
+                start = max(start, span_end)
+            elif span_start > address:
+                end = min(end, span_start)
+        return start, end
+
+    def check_access(self, allocation, address, size, is_write):
+        if allocation is None:
+            return None  # wild pointer: no bounds registered, no check
+        if allocation.pointer_id in self.laundered:
+            return None  # bounds were dropped at the module boundary
+        if allocation.pointer_id not in self.live:
+            return None  # stale pointer: MPX has no temporal safety
+        base, limit = self.narrowed_bounds(allocation, address)
+        if address < base or address + size > limit:
+            return Violation(
+                self.name, address, size, is_write, DetectionTime.IMMEDIATE,
+                "bounds check failed",
+            )
+        return None
+
+
+class AdiModel(SafetyModel):
+    """SPARC ADI memory colouring at cache-line granularity."""
+
+    traits = SchemeTraits(
+        name="SPARC ADI",
+        granularity="cache line",
+        intra_object="no",
+        binary_composability="yes",
+        temporal_safety="yes (limited to 13 tags)",
+        metadata_overhead="4b per cache line",
+        memory_overhead_scaling="~ program memory footprint",
+        performance_overhead_scaling="~ # of tag (un)set ops",
+        main_operations="(un)set tag",
+        core_changes="tag check on access (closed platform)",
+        cache_changes="4b per line",
+        memory_changes="colors in ECC bits",
+        software_changes="allocator (un)sets memory tags, tags pointers",
+    )
+
+    USABLE_COLORS = 13
+
+    def __init__(self):
+        super().__init__()
+        self._color_cycle = itertools.cycle(range(1, self.USABLE_COLORS + 1))
+        self.granule_colors: dict[int, int] = {}
+
+    def _protect(self, allocation: TrackedAllocation) -> None:
+        allocation.color = next(self._color_cycle)
+        for granule in self._granules(allocation.address, allocation.size):
+            self.granule_colors[granule] = allocation.color
+
+    def _unprotect(self, allocation: TrackedAllocation) -> None:
+        # Recolouring on free gives (tag-limited) temporal safety.
+        for granule in self._granules(allocation.address, allocation.size):
+            self.granule_colors[granule] = 0
+
+    def check_access(self, allocation, address, size, is_write):
+        if allocation is None or allocation.color is None:
+            return None
+        for granule in self._granules(address, size):
+            color = self.granule_colors.get(granule)
+            if color is not None and color != allocation.color:
+                return Violation(
+                    self.name, address, size, is_write,
+                    DetectionTime.IMMEDIATE,
+                    f"color mismatch (ptr {allocation.color} vs mem {color})",
+                )
+        return None
+
+    @staticmethod
+    def _granules(address: int, size: int):
+        return range(address // GRANULE, (address + size - 1) // GRANULE + 1)

@@ -1,0 +1,72 @@
+"""Core Califorms primitives: line formats, the sentinel codec and CFORM.
+
+This package is the paper's primary contribution in library form:
+
+* :mod:`repro.core.bitvector` — 64-bit per-byte metadata helpers.
+* :mod:`repro.core.line_formats` — the natural / califorms-bitvector /
+  califorms-sentinel line representations (Figures 1, 5, 7).
+* :mod:`repro.core.sentinel` — the L1↔L2 conversion (Algorithms 1–2).
+* :mod:`repro.core.cform` — the ``CFORM`` instruction K-map (Table 1).
+* :mod:`repro.core.variants` — Appendix A's califorms-4B/-1B formats.
+* :mod:`repro.core.exceptions` — the privileged Califorms exception model.
+"""
+
+from repro.core.bitvector import (
+    FULL_MASK,
+    LINE_SIZE,
+    indices_from_mask,
+    mask_from_indices,
+    range_mask,
+)
+from repro.core.cform import CformRequest, apply_cform, apply_cform_mask
+from repro.core.exceptions import (
+    AccessKind,
+    CaliformsError,
+    CaliformsException,
+    CformUsageError,
+    ConfigurationError,
+    ExceptionRecord,
+    SecurityByteAccess,
+    SentinelNotFoundError,
+)
+from repro.core.line_formats import BitvectorLine, SentinelLine
+from repro.core.sentinel import decode, encode, find_sentinel, roundtrip
+from repro.core.variants import (
+    Califorms1BLine,
+    Califorms4BLine,
+    decode_1b,
+    decode_4b,
+    encode_1b,
+    encode_4b,
+)
+
+__all__ = [
+    "LINE_SIZE",
+    "FULL_MASK",
+    "mask_from_indices",
+    "indices_from_mask",
+    "range_mask",
+    "BitvectorLine",
+    "SentinelLine",
+    "encode",
+    "decode",
+    "roundtrip",
+    "find_sentinel",
+    "CformRequest",
+    "apply_cform",
+    "apply_cform_mask",
+    "AccessKind",
+    "ExceptionRecord",
+    "CaliformsError",
+    "CaliformsException",
+    "SecurityByteAccess",
+    "CformUsageError",
+    "ConfigurationError",
+    "SentinelNotFoundError",
+    "Califorms4BLine",
+    "Califorms1BLine",
+    "encode_4b",
+    "decode_4b",
+    "encode_1b",
+    "decode_1b",
+]

@@ -1,0 +1,131 @@
+"""Bit-vector helpers for Califorms cache-line metadata.
+
+The L1 data cache keeps one metadata bit per byte of a 64-byte cache line
+(Section 5.1 of the paper, the *califorms-bitvector* format).  Throughout the
+library that per-byte metadata is represented as a plain Python integer used
+as a 64-bit mask: bit ``i`` set means byte ``i`` of the line is a *security
+byte* (blacklisted).
+
+All helpers here are pure functions on integers so they can be reused by the
+sentinel codec, the CFORM instruction semantics, the caches and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+#: Number of data bytes in a cache line (fixed by the paper's design).
+LINE_SIZE = 64
+
+#: Mask covering every byte of a cache line.
+FULL_MASK = (1 << LINE_SIZE) - 1
+
+#: Number of bits needed to address a byte within a line (Section 5.2:
+#: "we only need six bits").
+ADDR_BITS = 6
+
+#: Mask extracting the least-significant six bits of a byte, the portion the
+#: sentinel scheme compares against (Figure 9 feeds "the least 6-bits of each
+#: byte" to the comparators).
+LOW6_MASK = (1 << ADDR_BITS) - 1
+
+
+def bit(index: int) -> int:
+    """Return a mask with only ``index`` set.
+
+    >>> bit(0), bit(63)
+    (1, 9223372036854775808)
+    """
+    _check_index(index)
+    return 1 << index
+
+
+def test_bit(mask: int, index: int) -> bool:
+    """Return ``True`` when bit ``index`` is set in ``mask``."""
+    _check_index(index)
+    return bool((mask >> index) & 1)
+
+
+def set_bit(mask: int, index: int) -> int:
+    """Return ``mask`` with bit ``index`` set."""
+    _check_index(index)
+    return mask | (1 << index)
+
+
+def clear_bit(mask: int, index: int) -> int:
+    """Return ``mask`` with bit ``index`` cleared."""
+    _check_index(index)
+    return mask & ~(1 << index)
+
+
+def popcount(mask: int) -> int:
+    """Return the number of set bits in ``mask``."""
+    return mask.bit_count()
+
+
+def iter_set_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of set bits in ``mask``, ascending.
+
+    >>> list(iter_set_bits(0b1010))
+    [1, 3]
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def indices_from_mask(mask: int) -> list[int]:
+    """Return the ascending list of set-bit indices of ``mask``."""
+    return list(iter_set_bits(mask))
+
+
+def mask_from_indices(indices: Iterable[int]) -> int:
+    """Build a mask from an iterable of byte indices.
+
+    >>> bin(mask_from_indices([0, 2]))
+    '0b101'
+    """
+    mask = 0
+    for index in indices:
+        _check_index(index)
+        mask |= 1 << index
+    return mask
+
+
+def range_mask(offset: int, size: int) -> int:
+    """Return a mask covering ``size`` bytes starting at ``offset``.
+
+    The range must lie within a single cache line.
+
+    >>> bin(range_mask(1, 3))
+    '0b1110'
+    """
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    if offset < 0 or offset + size > LINE_SIZE:
+        raise ValueError(
+            f"byte range [{offset}, {offset + size}) exceeds the "
+            f"{LINE_SIZE}-byte cache line"
+        )
+    return ((1 << size) - 1) << offset
+
+
+def invert(mask: int) -> int:
+    """Return the complement of ``mask`` within the 64-byte line."""
+    return ~mask & FULL_MASK
+
+
+def low6(byte_value: int) -> int:
+    """Return the least-significant six bits of a byte value.
+
+    This is the portion of each byte the sentinel machinery inspects.
+    """
+    return byte_value & LOW6_MASK
+
+
+def _check_index(index: int) -> None:
+    if not 0 <= index < LINE_SIZE:
+        raise ValueError(
+            f"byte index {index} outside the {LINE_SIZE}-byte cache line"
+        )

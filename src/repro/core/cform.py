@@ -1,0 +1,122 @@
+"""Semantics of the ``CFORM`` instruction (Section 4.1, Table 1).
+
+``CFORM R1, R2, R3`` califorms one 64-byte, line-aligned region:
+
+* ``R1`` — virtual address of the 64 B chunk (must be line aligned),
+* ``R2`` — attribute bit vector: bit ``i`` = 1 requests byte ``i`` become a
+  security byte, 0 requests it become a regular byte,
+* ``R3`` — mask bit vector: bit ``i`` = 1 allows byte ``i`` to change, 0
+  leaves it untouched ("Don't Care" in the K-map).
+
+Table 1 K-map, as reconstructed from the paper's prose ("we throw a
+privileged Califorms exception when the CFORM instruction tries to set a
+security byte to an existing security byte location, and unset a security
+byte from a normal byte"):
+
+================  ===============  ==============  ==============
+initial state     masked out        unset, allowed  set, allowed
+================  ===============  ==============  ==============
+regular byte      regular byte     **exception**   security byte
+security byte     security byte    regular byte    **exception**
+================  ===============  ==============  ==============
+
+The instruction behaves like a store in the pipeline (write-allocate fetch
+into L1, then metadata manipulation); the LSQ interaction lives in
+:mod:`repro.cpu.lsq`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import bitvector as bv
+from repro.core.exceptions import (
+    AccessKind,
+    CformUsageError,
+    ExceptionRecord,
+)
+from repro.core.line_formats import BitvectorLine
+
+
+@dataclass(frozen=True)
+class CformRequest:
+    """Operand bundle for one ``CFORM`` execution.
+
+    ``line_address`` is the *byte* address of the target line and must be
+    64-byte aligned, matching the ISA's "starting (cache aligned) address"
+    requirement.
+    """
+
+    line_address: int
+    attributes: int  # R2: 1 bit per byte, 1 = set security byte
+    mask: int  # R3: 1 bit per byte, 1 = allow change
+
+    def __post_init__(self) -> None:
+        if self.line_address % bv.LINE_SIZE != 0:
+            raise ValueError(
+                f"CFORM target 0x{self.line_address:x} is not "
+                f"{bv.LINE_SIZE}-byte aligned"
+            )
+        for name in ("attributes", "mask"):
+            value = getattr(self, name)
+            if not 0 <= value <= bv.FULL_MASK:
+                raise ValueError(f"{name} 0x{value:x} is not a 64-bit vector")
+
+    @classmethod
+    def set_bytes(cls, line_address: int, indices) -> "CformRequest":
+        """Request turning the given byte indices into security bytes."""
+        mask = bv.mask_from_indices(indices)
+        return cls(line_address, attributes=mask, mask=mask)
+
+    @classmethod
+    def unset_bytes(cls, line_address: int, indices) -> "CformRequest":
+        """Request turning the given byte indices back into regular bytes."""
+        mask = bv.mask_from_indices(indices)
+        return cls(line_address, attributes=0, mask=mask)
+
+
+def apply_cform_mask(secmask: int, request: CformRequest) -> int:
+    """Apply the Table 1 K-map to a line's security mask.
+
+    Returns the new security mask.  Raises :class:`CformUsageError` when the
+    request sets an existing security byte or unsets a regular byte; the
+    mask is left unmodified in that case (the exception is precise).
+    """
+    set_violations = request.attributes & request.mask & secmask
+    unset_violations = (
+        bv.invert(request.attributes) & request.mask & bv.invert(secmask)
+    )
+    if set_violations or unset_violations:
+        kind = AccessKind.CFORM_SET if set_violations else AccessKind.CFORM_UNSET
+        offenders = set_violations or unset_violations
+        raise CformUsageError(
+            ExceptionRecord(
+                kind=kind,
+                address=request.line_address,
+                byte_indices=tuple(bv.iter_set_bits(offenders)),
+                detail=(
+                    "set on existing security byte"
+                    if set_violations
+                    else "unset on regular byte"
+                ),
+            )
+        )
+    return (secmask & bv.invert(request.mask)) | (
+        request.attributes & request.mask
+    )
+
+
+def apply_cform(line: BitvectorLine, request: CformRequest) -> None:
+    """Execute ``CFORM`` against an L1-resident line, in place.
+
+    Newly blacklisted bytes are zeroed (the runtime zeroes deallocated
+    regions, Section 7.2, and the hardware returns zero for security-byte
+    loads, so the canonical stored value is zero).  Bytes returned to
+    regular state also start at zero — the value the program observes until
+    it overwrites them, consistent with the clean-before-use discipline.
+    """
+    new_mask = apply_cform_mask(line.secmask, request)
+    changed = new_mask ^ line.secmask
+    for index in bv.iter_set_bits(changed):
+        line.data[index] = 0
+    line.secmask = new_mask

@@ -1,0 +1,104 @@
+"""Exception model for the Califorms architecture.
+
+The paper defines a single *privileged Califorms exception* (Section 4.2)
+raised when:
+
+* a load or store touches a security byte (a blacklisted location), or
+* a ``CFORM`` instruction is misused (Table 1: setting a security byte that
+  is already a security byte, or unsetting one from a regular byte).
+
+The exception is precise and delivered to the next privilege level.  The
+library mirrors that structure: :class:`CaliformsException` is the
+architectural event, with subclasses distinguishing the cause.  Purely
+host-side misuse of the library (bad arguments, impossible configurations)
+raises :class:`CaliformsError` subclasses instead, so callers can tell
+"the simulated program was caught doing something illegal" apart from
+"the simulation itself was driven incorrectly".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CaliformsError(Exception):
+    """Base class for host-side errors raised by the library itself."""
+
+
+class ConfigurationError(CaliformsError):
+    """A simulator or model was constructed with impossible parameters."""
+
+
+class SentinelNotFoundError(CaliformsError):
+    """No free 6-bit sentinel pattern exists.
+
+    By the paper's counting argument (Section 5.2) this cannot happen for a
+    line containing at least one security byte; it is raised defensively if
+    the codec is driven with an all-regular line.
+    """
+
+
+class AccessKind(enum.Enum):
+    """The architectural operation that triggered a Califorms exception."""
+
+    LOAD = "load"
+    STORE = "store"
+    CFORM_SET = "cform-set"
+    CFORM_UNSET = "cform-unset"
+
+
+@dataclass(frozen=True)
+class ExceptionRecord:
+    """A precise record of one Califorms exception.
+
+    The paper assumes "the faulting address is passed in an existing
+    register so that it can be used for reporting/investigation purposes"
+    (Section 6.3); this record is that register file snapshot.
+    """
+
+    kind: AccessKind
+    address: int
+    byte_indices: tuple[int, ...] = field(default_factory=tuple)
+    detail: str = ""
+
+    def describe(self) -> str:
+        """Return a one-line human-readable description of the event."""
+        where = f"0x{self.address:x}"
+        bytes_part = (
+            f" bytes {list(self.byte_indices)}" if self.byte_indices else ""
+        )
+        tail = f" ({self.detail})" if self.detail else ""
+        return f"califorms {self.kind.value} violation at {where}{bytes_part}{tail}"
+
+
+class CaliformsException(Exception):
+    """The privileged, precise Califorms exception (Section 4.2).
+
+    Raised by the simulated hardware when the running program touches a
+    security byte or misuses ``CFORM``.  The OS model can intercept it and
+    decide (based on the whitelist mask registers) whether to suppress it.
+    """
+
+    def __init__(self, record: ExceptionRecord):
+        super().__init__(record.describe())
+        self.record = record
+
+    @property
+    def kind(self) -> AccessKind:
+        return self.record.kind
+
+    @property
+    def address(self) -> int:
+        return self.record.address
+
+
+class SecurityByteAccess(CaliformsException):
+    """A load or store touched one or more security bytes."""
+
+
+class CformUsageError(CaliformsException):
+    """A ``CFORM`` instruction violated the Table 1 K-map.
+
+    Setting an already-set security byte, or unsetting a regular byte.
+    """

@@ -1,0 +1,206 @@
+"""Cache-line formats used across the Califorms memory hierarchy.
+
+Three views of the same 64 data bytes exist in the system (Figure 1):
+
+``natural``
+    A line with no security bytes.  Stored identically at every level.
+
+``califorms-bitvector`` (:class:`BitvectorLine`)
+    The L1 data-cache format (Section 5.1, Figure 5): the 64 data bytes kept
+    in their natural positions plus a 64-bit vector marking security bytes.
+    This is the *logical* view of a line — data plus blacklist — and the rest
+    of the library manipulates it directly.
+
+``califorms-sentinel`` (:class:`SentinelLine`)
+    The L2-and-beyond format (Section 5.2, Figure 7): exactly 64 stored bytes
+    plus a single "line califormed?" bit.  The header inside the first up-to
+    four bytes encodes where the security bytes are; displaced data is parked
+    inside security-byte slots.  :mod:`repro.core.sentinel` converts between
+    the two formats (the fill/spill modules of Figures 8 and 9).
+
+Security bytes have no architectural data: loads from them return zero
+(Section 7.2's side-channel argument) and the library normalises their
+stored value to zero so that conversions are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import bitvector as bv
+from repro.core.exceptions import (
+    AccessKind,
+    ExceptionRecord,
+    SecurityByteAccess,
+)
+
+LINE_SIZE = bv.LINE_SIZE
+
+
+def _check_line_bytes(data: bytes | bytearray) -> None:
+    if len(data) != LINE_SIZE:
+        raise ValueError(
+            f"cache line must be exactly {LINE_SIZE} bytes, got {len(data)}"
+        )
+
+
+def normalize_security_bytes(data: bytes, secmask: int) -> bytes:
+    """Return ``data`` with every security-byte position forced to zero.
+
+    The value stored in a blacklisted slot is architecturally invisible, so
+    the library keeps it at the canonical zero (the value the paper's design
+    returns to speculative loads, and the value memory is zeroed to on
+    deallocation).
+    """
+    _check_line_bytes(data)
+    if secmask == 0:
+        return bytes(data)
+    out = bytearray(data)
+    for index in bv.iter_set_bits(secmask):
+        out[index] = 0
+    return bytes(out)
+
+
+@dataclass
+class BitvectorLine:
+    """A cache line in the L1 *califorms-bitvector* format.
+
+    ``data``
+        The 64 data bytes in natural positions.  Security-byte positions
+        always hold zero (see :func:`normalize_security_bytes`).
+    ``secmask``
+        64-bit integer; bit ``i`` set means byte ``i`` is a security byte.
+    """
+
+    data: bytearray
+    secmask: int = 0
+
+    def __post_init__(self) -> None:
+        _check_line_bytes(self.data)
+        if not 0 <= self.secmask <= bv.FULL_MASK:
+            raise ValueError(f"secmask 0x{self.secmask:x} is not a 64-bit mask")
+        if not isinstance(self.data, bytearray):
+            self.data = bytearray(self.data)
+        if self.secmask:
+            self.data[:] = normalize_security_bytes(bytes(self.data), self.secmask)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def natural(cls, data: bytes | None = None) -> "BitvectorLine":
+        """Build a line with no security bytes (zero-filled by default)."""
+        return cls(bytearray(data) if data is not None else bytearray(LINE_SIZE))
+
+    def copy(self) -> "BitvectorLine":
+        return BitvectorLine(bytearray(self.data), self.secmask)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def is_califormed(self) -> bool:
+        """Whether the line contains at least one security byte."""
+        return self.secmask != 0
+
+    def is_security(self, index: int) -> bool:
+        """Whether byte ``index`` is blacklisted."""
+        return bv.test_bit(self.secmask, index)
+
+    def security_indices(self) -> list[int]:
+        """Ascending indices of the line's security bytes."""
+        return bv.indices_from_mask(self.secmask)
+
+    def security_count(self) -> int:
+        return bv.popcount(self.secmask)
+
+    # -- architectural access (the Figure 6 hit path) ----------------------
+
+    def load(
+        self, offset: int, size: int, *, base_address: int = 0
+    ) -> tuple[bytes, ExceptionRecord | None]:
+        """Read ``size`` bytes at ``offset``; model the L1 hit path.
+
+        Returns ``(value, record)``.  When the access overlaps security
+        bytes, ``value`` contains zero in those positions (the
+        pre-determined value of Section 5.1, avoiding a speculative side
+        channel) and ``record`` carries the precise exception to be raised
+        at commit.  ``record`` is ``None`` for clean accesses.
+        """
+        touched = bv.range_mask(offset, size) & self.secmask
+        value = bytes(self.data[offset : offset + size])
+        if not touched:
+            return value, None
+        record = ExceptionRecord(
+            kind=AccessKind.LOAD,
+            address=base_address + offset,
+            byte_indices=tuple(bv.iter_set_bits(touched)),
+            detail="load overlapped security bytes",
+        )
+        return value, record
+
+    def store(
+        self, offset: int, value: bytes, *, base_address: int = 0
+    ) -> ExceptionRecord | None:
+        """Write ``value`` at ``offset``; model the L1 store path.
+
+        A store overlapping security bytes reports an exception *before*
+        committing (Section 5.1): the write is not performed and the record
+        describing the violation is returned.  Clean stores are applied and
+        return ``None``.
+        """
+        touched = bv.range_mask(offset, len(value)) & self.secmask
+        if touched:
+            return ExceptionRecord(
+                kind=AccessKind.STORE,
+                address=base_address + offset,
+                byte_indices=tuple(bv.iter_set_bits(touched)),
+                detail="store overlapped security bytes",
+            )
+        self.data[offset : offset + len(value)] = value
+        return None
+
+    def load_or_raise(self, offset: int, size: int, *, base_address: int = 0) -> bytes:
+        """Like :meth:`load` but raise :class:`SecurityByteAccess` directly."""
+        value, record = self.load(offset, size, base_address=base_address)
+        if record is not None:
+            raise SecurityByteAccess(record)
+        return value
+
+    def store_or_raise(
+        self, offset: int, value: bytes, *, base_address: int = 0
+    ) -> None:
+        """Like :meth:`store` but raise :class:`SecurityByteAccess` directly."""
+        record = self.store(offset, value, base_address=base_address)
+        if record is not None:
+            raise SecurityByteAccess(record)
+
+
+@dataclass(frozen=True)
+class SentinelLine:
+    """A cache line in the L2+ *califorms-sentinel* format.
+
+    ``raw``
+        The 64 stored bytes.  For a califormed line these are the Figure 7
+        encoding (header + relocated data + sentinel marks), otherwise the
+        natural data bytes.
+    ``califormed``
+        The single metadata bit per line (kept in spare ECC bits in DRAM,
+        Section 3).
+    """
+
+    raw: bytes
+    califormed: bool = False
+
+    def __post_init__(self) -> None:
+        _check_line_bytes(self.raw)
+        if not isinstance(self.raw, bytes):
+            object.__setattr__(self, "raw", bytes(self.raw))
+
+    @classmethod
+    def natural(cls, data: bytes | None = None) -> "SentinelLine":
+        """Build an un-califormed line (zero-filled by default)."""
+        return cls(bytes(data) if data is not None else bytes(LINE_SIZE), False)
+
+    @property
+    def metadata_bits(self) -> int:
+        """Extra storage consumed by this format, in bits (always one)."""
+        return 1

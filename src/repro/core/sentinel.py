@@ -1,0 +1,213 @@
+"""The califorms-sentinel codec: Algorithms 1 and 2 of the paper.
+
+This module converts between the L1 *califorms-bitvector* view of a line
+(64 data bytes + 64-bit security mask) and the L2+ *califorms-sentinel*
+physical format (64 stored bytes + one metadata bit), exactly as the spill
+and fill modules of Figures 8 and 9 do in hardware.
+
+Encoding (Figure 7).  A califormed line repurposes its first up-to-four
+bytes as a header:
+
+======  ==============================================================
+code    header layout (bits, least-significant first)
+======  ==============================================================
+``00``  1 security byte:   code(2) addr0(6)                — 1 byte
+``01``  2 security bytes:  code(2) addr0(6) addr1(6)       — 2 bytes
+``10``  3 security bytes:  code(2) addr0..addr2(6 each)    — 3 bytes
+``11``  4+ security bytes: code(2) addr0..addr3(6 each)
+        sentinel(6)                                        — 4 bytes
+======  ==============================================================
+
+The data bytes displaced by the header are parked inside security-byte
+slots (which carry no data), and for the ``11`` case every security byte
+beyond the fourth is marked by writing the *sentinel* — a six-bit pattern
+chosen to differ from the low six bits of every regular byte on the line
+(at most 63 regular bytes exist, so one of the 64 patterns is always free;
+Section 5.2).
+
+Header-displacement disambiguation.  Algorithm 1's prose ("store data of
+1st 4 bytes in locations obtained in 8") under-specifies the case where
+security bytes sit *inside* the header region: parking a regular byte there
+would be overwritten by the header itself.  The number of regular bytes in
+the header region always equals the number of listed security slots beyond
+it, so this codec parks the i-th regular header byte in the i-th listed
+security slot at-or-after the header (the assignment Figure 8's "Cross Bar"
+must realise), and the fill path inverts the same mapping.  See DESIGN.md
+"Spec-level disambiguations"; the property tests in
+``tests/core/test_sentinel.py`` verify the round-trip for arbitrary lines.
+"""
+
+from __future__ import annotations
+
+from repro.core import bitvector as bv
+from repro.core.exceptions import SentinelNotFoundError
+from repro.core.line_formats import (
+    LINE_SIZE,
+    BitvectorLine,
+    SentinelLine,
+    normalize_security_bytes,
+)
+
+#: Number of header bytes used for each count code (code = index).
+HEADER_BYTES_FOR_CODE = (1, 2, 3, 4)
+
+#: Security-byte counts above this use the sentinel ("4 or more").
+MAX_LISTED = 4
+
+#: Bit offset of the sentinel field within the 32-bit ``11`` header.
+_SENTINEL_SHIFT = 2 + bv.ADDR_BITS * MAX_LISTED
+
+
+def find_sentinel(data: bytes, secmask: int) -> int:
+    """Choose a sentinel: a 6-bit pattern unused by any regular byte.
+
+    Implements line 7 of Algorithm 1 ("scan least 6-bit of every byte to
+    determine sentinel").  Only *regular* bytes constrain the choice — the
+    paper's existence argument ("at most 63 unique values that non-security
+    bytes can have") relies on excluding the security bytes, whose stored
+    values are meaningless.
+
+    Raises :class:`SentinelNotFoundError` if ``secmask`` is zero, because a
+    line of 64 regular bytes can exhaust all 64 patterns.
+    """
+    if secmask == 0:
+        raise SentinelNotFoundError(
+            "a line with no security bytes may have no free 6-bit pattern; "
+            "sentinels are only defined for califormed lines"
+        )
+    used = 0
+    for index in range(LINE_SIZE):
+        if not bv.test_bit(secmask, index):
+            used |= 1 << bv.low6(data[index])
+    for pattern in range(1 << bv.ADDR_BITS):
+        if not (used >> pattern) & 1:
+            return pattern
+    raise SentinelNotFoundError(
+        "no free 6-bit pattern among regular bytes; "
+        "this is impossible for a califormed line"
+    )  # pragma: no cover - unreachable by the counting argument
+
+
+def _header_fields(secmask: int) -> tuple[int, list[int], int]:
+    """Return ``(code, listed_addresses, header_len)`` for a mask."""
+    indices = bv.indices_from_mask(secmask)
+    count = len(indices)
+    code = min(count, MAX_LISTED) - 1
+    header_len = HEADER_BYTES_FOR_CODE[code]
+    return code, indices[:MAX_LISTED], header_len
+
+
+def _pack_header(code: int, listed: list[int], sentinel: int | None) -> bytes:
+    """Pack the Figure 7 header into ``len(listed)`` little-endian bytes."""
+    value = code
+    for position, address in enumerate(listed):
+        value |= address << (2 + bv.ADDR_BITS * position)
+    if code == MAX_LISTED - 1:
+        assert sentinel is not None
+        value |= sentinel << _SENTINEL_SHIFT
+    return value.to_bytes(HEADER_BYTES_FOR_CODE[code], "little")
+
+
+def _unpack_header(raw: bytes) -> tuple[int, list[int], int | None, int]:
+    """Inverse of :func:`_pack_header`; returns (code, listed, sentinel, len)."""
+    code = raw[0] & 0b11
+    header_len = HEADER_BYTES_FOR_CODE[code]
+    value = int.from_bytes(raw[:header_len], "little")
+    listed = [
+        (value >> (2 + bv.ADDR_BITS * position)) & bv.LOW6_MASK
+        for position in range(code + 1)
+    ]
+    sentinel = None
+    if code == MAX_LISTED - 1:
+        sentinel = (value >> _SENTINEL_SHIFT) & bv.LOW6_MASK
+    return code, listed, sentinel, header_len
+
+
+def _parking_assignment(
+    listed: list[int], header_len: int, secmask: int
+) -> list[tuple[int, int]]:
+    """Pair each regular header byte with the security slot that parks it.
+
+    Returns ``[(header_index, slot_index), ...]``.  Regular header bytes are
+    taken in ascending order; parking slots are the listed security
+    addresses at-or-after the header, also ascending.  The two lists always
+    have equal length: every security byte inside the header region is
+    necessarily among the listed (smallest) addresses.
+    """
+    regular_header = [
+        index for index in range(header_len) if not bv.test_bit(secmask, index)
+    ]
+    parking_slots = [address for address in listed if address >= header_len]
+    assert len(regular_header) == len(parking_slots), (
+        "header displacement invariant broken: "
+        f"{regular_header} vs {parking_slots}"
+    )
+    return list(zip(regular_header, parking_slots))
+
+
+def encode(line: BitvectorLine) -> SentinelLine:
+    """Spill a line from L1 to L2 format (Algorithm 1 / Figure 8).
+
+    Lines with no security bytes pass through unchanged with the metadata
+    bit clear (lines 1–3 of the algorithm).
+    """
+    if line.secmask == 0:
+        return SentinelLine(bytes(line.data), califormed=False)
+
+    data = normalize_security_bytes(bytes(line.data), line.secmask)
+    code, listed, header_len = _header_fields(line.secmask)
+    indices = bv.indices_from_mask(line.secmask)
+
+    sentinel = None
+    if code == MAX_LISTED - 1:
+        sentinel = find_sentinel(data, line.secmask)
+
+    out = bytearray(data)
+    # Park the regular data displaced by the header inside security slots.
+    for header_index, slot in _parking_assignment(listed, header_len, line.secmask):
+        out[slot] = data[header_index]
+    # Mark every security byte beyond the fourth with the sentinel.  Those
+    # are all at index > listed[3] >= 3, i.e. outside the header.
+    if sentinel is not None:
+        for extra in indices[MAX_LISTED:]:
+            out[extra] = sentinel
+    out[:header_len] = _pack_header(code, listed, sentinel)
+    return SentinelLine(bytes(out), califormed=True)
+
+
+def decode(line: SentinelLine) -> BitvectorLine:
+    """Fill a line from L2 format into L1 format (Algorithm 2 / Figure 9).
+
+    Un-califormed lines pass through with an all-zero bit vector (lines
+    1–3).  For califormed lines the security mask is reconstructed from the
+    header (and, for the ``11`` code, the 60-comparator sentinel scan over
+    bytes 4..63), parked data is restored to its natural position, and every
+    security slot is zeroed (line 10: "set the new locations of
+    byte[Addr[0-3]] to zero").
+    """
+    if not line.califormed:
+        return BitvectorLine(bytearray(line.raw), 0)
+
+    raw = line.raw
+    code, listed, sentinel, header_len = _unpack_header(raw)
+    secmask = bv.mask_from_indices(listed)
+    if sentinel is not None:
+        listed_set = set(listed)
+        # Figure 9: only bytes 4..63 feed the sentinel comparators.
+        for index in range(MAX_LISTED, LINE_SIZE):
+            if index not in listed_set and bv.low6(raw[index]) == sentinel:
+                secmask = bv.set_bit(secmask, index)
+
+    out = bytearray(raw)
+    for header_index, slot in _parking_assignment(listed, header_len, secmask):
+        out[header_index] = raw[slot]
+    # Any header byte that is itself a security byte carries no data.
+    for index in range(header_len):
+        if bv.test_bit(secmask, index):
+            out[index] = 0
+    return BitvectorLine(out, secmask)
+
+
+def roundtrip(line: BitvectorLine) -> BitvectorLine:
+    """Encode then decode a line; used by tests and sanity checks."""
+    return decode(encode(line))

@@ -1,0 +1,164 @@
+"""Appendix A Califorms variants for the L1 cache.
+
+The paper's main L1 design (:class:`~repro.core.line_formats.BitvectorLine`)
+spends 8 B of metadata per 64 B line.  Appendix A describes two denser L1
+alternatives that trade lookup latency for storage, both built from the same
+trick as califorms-sentinel: hide the bit vector *inside* a security byte.
+
+``califorms-4B`` (Figure 14)
+    The line is split into eight 8-byte chunks.  A califormed chunk stores
+    its 8-bit byte-granular bit vector inside one of its own security bytes;
+    4 bits of metadata per chunk record (a) whether the chunk is califormed
+    and (b) which of the eight bytes holds the vector.  Total extra storage:
+    4 B per line (6.25 %).
+
+``califorms-1B`` (Figure 15)
+    As above, but the bit vector always lives in the chunk's byte 0 (the
+    *header byte*).  If byte 0 is itself regular data, its original value is
+    parked in the chunk's **last** security byte.  Only 1 bit of metadata
+    per chunk remains ("chunk califormed?").  Total extra storage: 1 B per
+    line (1.56 %).
+
+Both variants are exact re-encodings of the logical line: the codecs below
+round-trip against :class:`BitvectorLine` and are property-tested.  Their
+latency/area consequences are modelled in :mod:`repro.analysis.vlsi`
+(Table 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import bitvector as bv
+from repro.core.line_formats import LINE_SIZE, BitvectorLine
+
+#: Chunk geometry shared by both variants.
+CHUNK_SIZE = 8
+CHUNKS_PER_LINE = LINE_SIZE // CHUNK_SIZE
+
+
+def _chunk_mask(secmask: int, chunk: int) -> int:
+    """Extract the 8-bit security mask of one chunk."""
+    return (secmask >> (chunk * CHUNK_SIZE)) & 0xFF
+
+
+@dataclass(frozen=True)
+class Califorms4BLine:
+    """Physical representation of the califorms-4B format (Figure 14).
+
+    ``raw``
+        64 stored bytes (bit vectors embedded in security slots).
+    ``chunk_califormed``
+        8-bit mask: bit ``c`` set when chunk ``c`` contains security bytes.
+    ``vector_slot``
+        Per-chunk 3-bit index of the byte that stores the chunk's bit
+        vector (meaningful only for califormed chunks).
+    """
+
+    raw: bytes
+    chunk_califormed: int
+    vector_slot: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.raw) != LINE_SIZE:
+            raise ValueError("califorms-4B line must hold 64 bytes")
+        if len(self.vector_slot) != CHUNKS_PER_LINE:
+            raise ValueError("one vector slot per chunk required")
+
+    @property
+    def metadata_bits(self) -> int:
+        """Extra storage consumed: 4 bits per chunk."""
+        return 4 * CHUNKS_PER_LINE
+
+
+def encode_4b(line: BitvectorLine) -> Califorms4BLine:
+    """Encode a logical line into the califorms-4B format."""
+    raw = bytearray(line.data)
+    chunk_califormed = 0
+    slots: list[int] = []
+    for chunk in range(CHUNKS_PER_LINE):
+        mask = _chunk_mask(line.secmask, chunk)
+        if mask == 0:
+            slots.append(0)
+            continue
+        chunk_califormed |= 1 << chunk
+        slot = (mask & -mask).bit_length() - 1  # first security byte
+        raw[chunk * CHUNK_SIZE + slot] = mask
+        slots.append(slot)
+    return Califorms4BLine(bytes(raw), chunk_califormed, tuple(slots))
+
+
+def decode_4b(encoded: Califorms4BLine) -> BitvectorLine:
+    """Decode a califorms-4B line back to the logical view."""
+    data = bytearray(encoded.raw)
+    secmask = 0
+    for chunk in range(CHUNKS_PER_LINE):
+        if not (encoded.chunk_califormed >> chunk) & 1:
+            continue
+        slot = encoded.vector_slot[chunk]
+        mask = encoded.raw[chunk * CHUNK_SIZE + slot]
+        secmask |= mask << (chunk * CHUNK_SIZE)
+    return BitvectorLine(data, secmask)
+
+
+@dataclass(frozen=True)
+class Califorms1BLine:
+    """Physical representation of the califorms-1B format (Figure 15).
+
+    ``raw``
+        64 stored bytes (chunk bit vectors in header bytes, displaced
+        header data parked in last security slots).
+    ``chunk_califormed``
+        8-bit mask: bit ``c`` set when chunk ``c`` contains security bytes.
+    """
+
+    raw: bytes
+    chunk_califormed: int
+
+    def __post_init__(self) -> None:
+        if len(self.raw) != LINE_SIZE:
+            raise ValueError("califorms-1B line must hold 64 bytes")
+
+    @property
+    def metadata_bits(self) -> int:
+        """Extra storage consumed: 1 bit per chunk."""
+        return CHUNKS_PER_LINE
+
+
+def encode_1b(line: BitvectorLine) -> Califorms1BLine:
+    """Encode a logical line into the califorms-1B format.
+
+    For each califormed chunk the 8-bit vector goes into the header (byte
+    0 of the chunk).  If the header byte is regular data, its value is
+    parked in the chunk's last security byte first.
+    """
+    raw = bytearray(line.data)
+    chunk_califormed = 0
+    for chunk in range(CHUNKS_PER_LINE):
+        mask = _chunk_mask(line.secmask, chunk)
+        if mask == 0:
+            continue
+        chunk_califormed |= 1 << chunk
+        base = chunk * CHUNK_SIZE
+        header_is_regular = not (mask & 1)
+        if header_is_regular:
+            last_security = mask.bit_length() - 1
+            raw[base + last_security] = raw[base]
+        raw[base] = mask
+    return Califorms1BLine(bytes(raw), chunk_califormed)
+
+
+def decode_1b(encoded: Califorms1BLine) -> BitvectorLine:
+    """Decode a califorms-1B line back to the logical view."""
+    data = bytearray(encoded.raw)
+    secmask = 0
+    for chunk in range(CHUNKS_PER_LINE):
+        if not (encoded.chunk_califormed >> chunk) & 1:
+            continue
+        base = chunk * CHUNK_SIZE
+        mask = encoded.raw[base]
+        secmask |= mask << base
+        if not (mask & 1):  # header byte was regular: un-park its value
+            last_security = mask.bit_length() - 1
+            data[base] = encoded.raw[base + last_security]
+    return BitvectorLine(data, secmask)

@@ -1,0 +1,39 @@
+"""CPU layer: ISA, load/store queue, functional core and timing model.
+
+* :mod:`repro.cpu.isa` — LOAD/STORE/CFORM/ALU instruction forms.
+* :mod:`repro.cpu.lsq` — the Section 5.3 LSQ forwarding rules.
+* :mod:`repro.cpu.core` — functional execution + whitelist mask registers.
+* :mod:`repro.cpu.pipeline` — first-order cycle estimation.
+"""
+
+from repro.cpu.core import Cpu, CpuCounters, ExceptionMaskRegisters
+from repro.cpu.isa import (
+    Instruction,
+    Opcode,
+    Program,
+    alu,
+    cform,
+    load,
+    nop,
+    store,
+)
+from repro.cpu.lsq import LoadResult, LoadStoreQueue
+from repro.cpu.pipeline import MemoryEventCounts, PipelineModel
+
+__all__ = [
+    "Cpu",
+    "CpuCounters",
+    "ExceptionMaskRegisters",
+    "Instruction",
+    "Opcode",
+    "Program",
+    "load",
+    "store",
+    "cform",
+    "alu",
+    "nop",
+    "LoadStoreQueue",
+    "LoadResult",
+    "MemoryEventCounts",
+    "PipelineModel",
+]

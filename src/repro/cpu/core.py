@@ -1,0 +1,152 @@
+"""Functional CPU core: executes programs against the memory hierarchy.
+
+The core binds together the ISA, the hierarchy and the privileged
+exception machinery:
+
+* every Califorms exception is delivered *precisely* when the faulting
+  instruction retires (the paper's non-speculative guarantee);
+* the OS whitelisting of Section 4.2/6.3 is modelled by the
+  :class:`ExceptionMaskRegisters` — within a whitelisted region the
+  exception is suppressed and logged instead of raised, exactly what the
+  kernel handler does for ``memcpy``-style functions.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import (
+    CformUsageError,
+    ExceptionRecord,
+    SecurityByteAccess,
+)
+from repro.cpu.isa import Instruction, Opcode, Program
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@dataclass
+class ExceptionMaskRegisters:
+    """Privileged mask registers controlling exception delivery.
+
+    The paper whitelists functions like ``memcpy`` "by issuing a privileged
+    store instruction to modify the value of exception mask registers
+    before entering and after exiting the according piece of code"
+    (Section 6.3).  ``depth`` supports nested whitelisted regions.
+    """
+
+    depth: int = 0
+    suppressed: list[ExceptionRecord] = field(default_factory=list)
+
+    @property
+    def masked(self) -> bool:
+        return self.depth > 0
+
+    def enter_whitelist(self) -> None:
+        self.depth += 1
+
+    def exit_whitelist(self) -> None:
+        if self.depth == 0:
+            raise RuntimeError("exception mask underflow: no region to exit")
+        self.depth -= 1
+
+    def deliver(self, record: ExceptionRecord) -> bool:
+        """Deliver one exception record.
+
+        Returns True when the exception was suppressed (whitelisted); the
+        caller raises otherwise.
+        """
+        if self.masked:
+            self.suppressed.append(record)
+            return True
+        return False
+
+
+@dataclass
+class CpuCounters:
+    """Retired-instruction accounting."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    cforms: int = 0
+    alu_ops: int = 0
+    exceptions_raised: int = 0
+    exceptions_suppressed: int = 0
+
+
+class Cpu:
+    """A simple in-order core executing :class:`Program` streams."""
+
+    def __init__(self, hierarchy: MemoryHierarchy | None = None):
+        self.hierarchy = hierarchy or MemoryHierarchy()
+        self.masks = ExceptionMaskRegisters()
+        self.counters = CpuCounters()
+
+    # -- single-instruction execution ---------------------------------------
+
+    def execute(self, instruction: Instruction) -> bytes | None:
+        """Execute one instruction; return loaded data for LOADs."""
+        counters = self.counters
+        opcode = instruction.opcode
+        if opcode is Opcode.LOAD:
+            counters.instructions += 1
+            counters.loads += 1
+            value, records = self.hierarchy.load(
+                instruction.address, instruction.size
+            )
+            self._deliver(records, SecurityByteAccess)
+            return value
+        if opcode is Opcode.STORE:
+            counters.instructions += 1
+            counters.stores += 1
+            records = self.hierarchy.store(instruction.address, instruction.data)
+            self._deliver(records, SecurityByteAccess)
+            return None
+        if opcode is Opcode.CFORM:
+            counters.instructions += 1
+            counters.cforms += 1
+            try:
+                self.hierarchy.cform(instruction.request)
+            except CformUsageError as error:
+                if not self.masks.deliver(error.record):
+                    self.counters.exceptions_raised += 1
+                    raise
+                self.counters.exceptions_suppressed += 1
+            return None
+        if opcode is Opcode.ALU:
+            counters.instructions += instruction.count
+            counters.alu_ops += instruction.count
+            return None
+        counters.instructions += 1  # NOP
+        return None
+
+    def run(self, program: Program) -> CpuCounters:
+        """Execute a whole program; returns the counter block."""
+        for instruction in program:
+            self.execute(instruction)
+        return self.counters
+
+    # -- whitelisting ----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def whitelisted(self):
+        """Run a block with Califorms exceptions suppressed (OS whitelist).
+
+        Models the kernel wrapping of ``memcpy``-style library functions;
+        suppressed events stay visible in ``masks.suppressed`` for the
+        security experiments to audit the exposure window.
+        """
+        self.masks.enter_whitelist()
+        try:
+            yield self.masks
+        finally:
+            self.masks.exit_whitelist()
+
+    def _deliver(self, records: list[ExceptionRecord], exc_type) -> None:
+        for record in records:
+            if self.masks.deliver(record):
+                self.counters.exceptions_suppressed += 1
+            else:
+                self.counters.exceptions_raised += 1
+                raise exc_type(record)

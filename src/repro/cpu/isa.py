@@ -1,0 +1,119 @@
+"""A minimal ISA for driving the Califorms memory system.
+
+The paper extends x86-64 with one instruction, ``CFORM R1, R2, R3``
+(Section 4.1).  For simulation purposes the rest of the ISA collapses to
+what matters for the memory system and the timing model:
+
+* ``LOAD`` / ``STORE`` — byte-addressed data accesses,
+* ``CFORM`` — the new instruction, operands in
+  :class:`~repro.core.cform.CformRequest` form,
+* ``ALU`` — a stand-in for ``count`` non-memory instructions (used by the
+  trace generators to model instruction mix),
+* ``NOP`` — filler.
+
+Instructions are plain frozen dataclasses so traces are cheap to build and
+hash; :class:`Program` is a thin list wrapper with mix statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.cform import CformRequest
+
+
+class Opcode(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    CFORM = "cform"
+    ALU = "alu"
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Only the fields relevant to the opcode are populated; the module-level
+    factory helpers (:func:`load`, :func:`store`, ...) are the intended
+    construction path and enforce that.
+    """
+
+    opcode: Opcode
+    address: int | None = None
+    size: int | None = None
+    data: bytes | None = None
+    request: CformRequest | None = None
+    count: int = 1
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in (Opcode.LOAD, Opcode.STORE, Opcode.CFORM)
+
+
+def load(address: int, size: int) -> Instruction:
+    """A LOAD of ``size`` bytes at ``address``."""
+    if size <= 0:
+        raise ValueError("load size must be positive")
+    return Instruction(Opcode.LOAD, address=address, size=size)
+
+
+def store(address: int, data: bytes) -> Instruction:
+    """A STORE of ``data`` at ``address``."""
+    if not data:
+        raise ValueError("store data must be non-empty")
+    return Instruction(Opcode.STORE, address=address, data=bytes(data))
+
+
+def cform(request: CformRequest) -> Instruction:
+    """A CFORM with the given operand bundle."""
+    return Instruction(Opcode.CFORM, address=request.line_address, request=request)
+
+
+def alu(count: int = 1) -> Instruction:
+    """``count`` back-to-back non-memory instructions."""
+    if count <= 0:
+        raise ValueError("alu count must be positive")
+    return Instruction(Opcode.ALU, count=count)
+
+
+def nop() -> Instruction:
+    return Instruction(Opcode.NOP)
+
+
+@dataclass
+class Program:
+    """An ordered instruction sequence with mix statistics."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        self.instructions.extend(instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def instruction_count(self) -> int:
+        """Dynamic instruction count (ALU bundles expand to their count)."""
+        return sum(
+            instruction.count if instruction.opcode is Opcode.ALU else 1
+            for instruction in self.instructions
+        )
+
+    def memory_operation_count(self) -> int:
+        return sum(1 for instruction in self.instructions if instruction.is_memory)
+
+    def cform_count(self) -> int:
+        return sum(
+            1
+            for instruction in self.instructions
+            if instruction.opcode is Opcode.CFORM
+        )

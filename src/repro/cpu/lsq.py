@@ -1,0 +1,203 @@
+"""Load/store queue with the Califorms forwarding rules (Section 5.3).
+
+``CFORM`` occupies an LSQ entry like a store, but with two special rules:
+
+1. **No forwarding.**  A younger load whose address matches an in-flight
+   ``CFORM`` must *not* receive the CFORM's "value"; it returns zero (the
+   same pre-determined value a security-byte load returns) so that the LSQ
+   cannot become a side channel revealing security-byte placement.
+2. **Exception marking.**  Both loads and stores younger than an in-flight
+   ``CFORM`` whose addresses match are marked for a Califorms exception,
+   delivered when the instruction commits (precise, non-speculative).
+
+Plain store→load forwarding works as usual, last-writer-wins per byte.
+This model is functional (program order, not cycle-accurate): it exists to
+pin down the architectural contract, which the tests exercise directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core import bitvector as bv
+from repro.core.cform import CformRequest
+from repro.core.exceptions import (
+    AccessKind,
+    ExceptionRecord,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class EntryKind(enum.Enum):
+    STORE = "store"
+    CFORM = "cform"
+
+
+@dataclass
+class LsqEntry:
+    """One in-flight store-like instruction."""
+
+    sequence: int
+    kind: EntryKind
+    address: int  # byte address (stores) or line address (CFORM)
+    data: bytes | None = None
+    request: CformRequest | None = None
+
+    def line_span(self) -> tuple[int, int]:
+        """(first_line, last_line) the entry touches."""
+        if self.kind is EntryKind.CFORM:
+            base = self.address
+            return base, base
+        start = self.address & ~(bv.LINE_SIZE - 1)
+        end = (self.address + len(self.data) - 1) & ~(bv.LINE_SIZE - 1)
+        return start, end
+
+
+@dataclass
+class LoadResult:
+    """Outcome of issuing a load against the LSQ."""
+
+    value: bytes
+    forwarded_bytes: int = 0
+    cform_match: bool = False
+    record: ExceptionRecord | None = None
+
+
+@dataclass
+class LoadStoreQueue:
+    """In-flight store/CFORM buffer implementing the Section 5.3 rules."""
+
+    hierarchy: MemoryHierarchy
+    _entries: list[LsqEntry] = field(default_factory=list)
+    _sequence: int = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- issue ---------------------------------------------------------------
+
+    def issue_store(self, address: int, data: bytes) -> LsqEntry:
+        entry = LsqEntry(self._next_sequence(), EntryKind.STORE, address, bytes(data))
+        self._entries.append(entry)
+        return entry
+
+    def issue_cform(self, request: CformRequest) -> LsqEntry:
+        entry = LsqEntry(
+            self._next_sequence(),
+            EntryKind.CFORM,
+            request.line_address,
+            request=request,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def issue_load(self, address: int, size: int) -> LoadResult:
+        """Resolve a load against older in-flight entries plus memory.
+
+        Byte-granular last-writer-wins forwarding from plain stores; any
+        overlap with an in-flight ``CFORM``'s masked bytes yields zero for
+        those bytes, no forwarding, and an exception mark.
+        """
+        base_value, memory_records = self.hierarchy.load(address, size)
+        value = bytearray(base_value)
+        forwarded = 0
+        cform_hit_indices: list[int] = []
+
+        for entry in self._entries:  # oldest -> youngest, so later wins
+            if entry.kind is EntryKind.STORE:
+                forwarded += _overlay_store(value, address, entry)
+            else:
+                cform_hit_indices.extend(
+                    _zero_cform_overlap(value, address, entry.request)
+                )
+
+        record: ExceptionRecord | None = None
+        if cform_hit_indices:
+            record = ExceptionRecord(
+                kind=AccessKind.LOAD,
+                address=address,
+                byte_indices=tuple(sorted(set(cform_hit_indices))),
+                detail="load matched in-flight CFORM in LSQ",
+            )
+        elif memory_records:
+            record = memory_records[0]
+        return LoadResult(
+            value=bytes(value),
+            forwarded_bytes=forwarded,
+            cform_match=bool(cform_hit_indices),
+            record=record,
+        )
+
+    def check_store_against_cforms(
+        self, address: int, data: bytes
+    ) -> ExceptionRecord | None:
+        """Mark a younger store that matches an in-flight CFORM."""
+        value = bytearray(len(data))
+        hits: list[int] = []
+        for entry in self._entries:
+            if entry.kind is EntryKind.CFORM:
+                hits.extend(_zero_cform_overlap(value, address, entry.request))
+        if not hits:
+            return None
+        return ExceptionRecord(
+            kind=AccessKind.STORE,
+            address=address,
+            byte_indices=tuple(sorted(set(hits))),
+            detail="store matched in-flight CFORM in LSQ",
+        )
+
+    # -- commit ----------------------------------------------------------------
+
+    def commit_oldest(self) -> list[ExceptionRecord]:
+        """Retire the oldest entry into the memory hierarchy."""
+        if not self._entries:
+            raise IndexError("LSQ is empty")
+        entry = self._entries.pop(0)
+        if entry.kind is EntryKind.STORE:
+            return self.hierarchy.store(entry.address, entry.data)
+        self.hierarchy.cform(entry.request)
+        return []
+
+    def drain(self) -> list[ExceptionRecord]:
+        """Commit everything, oldest first."""
+        records: list[ExceptionRecord] = []
+        while self._entries:
+            records.extend(self.commit_oldest())
+        return records
+
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+
+def _overlay_store(value: bytearray, load_address: int, entry: LsqEntry) -> int:
+    """Forward overlapping bytes of a plain store into ``value``."""
+    overlap_start = max(load_address, entry.address)
+    overlap_end = min(load_address + len(value), entry.address + len(entry.data))
+    forwarded = 0
+    for absolute in range(overlap_start, overlap_end):
+        value[absolute - load_address] = entry.data[absolute - entry.address]
+        forwarded += 1
+    return forwarded
+
+
+def _zero_cform_overlap(
+    value: bytearray, load_address: int, request: CformRequest
+) -> list[int]:
+    """Zero bytes of ``value`` covered by the CFORM's mask; return hits.
+
+    Matches the paper's rule: the match is on the cache-line address first,
+    then confirmed against the CFORM mask value held in the LSQ entry.
+    """
+    hits: list[int] = []
+    line_base = request.line_address
+    for index in range(len(value)):
+        absolute = load_address + index
+        if absolute & ~(bv.LINE_SIZE - 1) != line_base:
+            continue
+        byte_in_line = absolute - line_base
+        if bv.test_bit(request.mask, byte_in_line):
+            value[index] = 0
+            hits.append(byte_in_line)
+    return hits

@@ -1,0 +1,98 @@
+"""Simple in-order timing estimator for the simulated core.
+
+The paper evaluates on a validated OoO Westmere-like ZSim model; this
+reproduction replaces it with a first-order analytical pipeline (see
+DESIGN.md, substitution 2):
+
+    cycles = instructions x base_cpi
+           + (L1 misses x L2 latency
+              + L2 misses x L3 latency
+              + L3 misses x DRAM latency) x (1 / overlap)
+
+``overlap`` models memory-level parallelism: an OoO core overlaps part of
+each miss with useful work, so benchmarks differ in how much of the raw
+penalty they actually pay.  The per-benchmark overlap factors live with the
+workload profiles.
+
+L1 *hit* latency is treated as pipelined away (standard for in-order
+estimates of L1-hit-dominated code); the extra +1-cycle experiments of
+Figure 10 enter through the hierarchy config's ``l2_extra_cycles`` /
+``l3_extra_cycles`` knobs, which inflate the miss penalties here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+from repro.memory.hierarchy import HierarchyConfig
+
+
+@dataclass(frozen=True)
+class MemoryEventCounts:
+    """Cache-event totals for one simulated run."""
+
+    l1_accesses: int
+    l1_misses: int
+    l2_misses: int
+    l3_misses: int
+
+    def __post_init__(self) -> None:
+        if not (
+            self.l1_accesses >= self.l1_misses >= self.l2_misses >= self.l3_misses >= 0
+        ):
+            raise ConfigurationError(
+                "event counts must be non-increasing down the hierarchy: "
+                f"{self}"
+            )
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """Analytical cycle model for one core configuration."""
+
+    config: HierarchyConfig
+    base_cpi: float = 0.75  # a wide OoO core retires >1 instr/cycle
+    overlap: float = 2.0  # memory-level parallelism divisor
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0:
+            raise ConfigurationError("base_cpi must be positive")
+        if self.overlap < 1.0:
+            raise ConfigurationError("overlap cannot be below 1 (no speedup)")
+
+    def memory_stall_cycles(self, events: MemoryEventCounts) -> float:
+        """Raw miss-penalty cycles, divided by the overlap factor."""
+        config = self.config
+        raw = (
+            events.l1_misses * (config.l2_latency + config.l2_extra_cycles)
+            + events.l2_misses * (config.l3_latency + config.l3_extra_cycles)
+            + events.l3_misses * config.dram_latency
+        )
+        return raw / self.overlap
+
+    def cycles(self, instructions: int, events: MemoryEventCounts) -> float:
+        """Total estimated cycles for a run."""
+        return instructions * self.base_cpi + self.memory_stall_cycles(events)
+
+    def slowdown(
+        self,
+        baseline_instructions: int,
+        baseline_events: MemoryEventCounts,
+        variant_instructions: int,
+        variant_events: MemoryEventCounts,
+        variant_config: HierarchyConfig | None = None,
+    ) -> float:
+        """Relative slowdown of a variant run over a baseline run.
+
+        A value of 0.03 means 3 % slower.  The variant may also use a
+        different hierarchy config (Figure 10's +1-cycle experiment).
+        """
+        base_cycles = self.cycles(baseline_instructions, baseline_events)
+        variant_model = (
+            self
+            if variant_config is None
+            else PipelineModel(variant_config, self.base_cpi, self.overlap)
+        )
+        new_cycles = variant_model.cycles(variant_instructions, variant_events)
+        return new_cycles / base_cycles - 1.0

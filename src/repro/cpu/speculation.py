@@ -1,0 +1,137 @@
+"""Speculative-execution side-channel model (Section 7.2).
+
+Califorms takes two measures against Spectre-style disclosure of security
+byte *placement*:
+
+1. a speculative load that touches a security byte returns the
+   pre-determined value **zero** instead of faulting architecturally
+   (the exception waits for commit, which never comes for a squashed
+   path), so the attacker cannot observe a fault-vs-value difference;
+2. deallocated memory is **zeroed in software**, so "padding reads as
+   zero" does not distinguish a security byte from stale data that
+   happened to be zero.
+
+This model runs a speculative window against the hierarchy and lets the
+experiments play the exact attack the paper describes: the attacker knows
+the previous object at an address held non-zero data, speculatively reads
+a suspected padding location, and tries to infer "security byte" from
+reading zero.  With measure 2 in place the observation carries no signal;
+the model exposes a ``zero_on_free`` switch so tests can show the leak
+reappearing when the countermeasure is disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import ExceptionRecord
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@dataclass
+class SpeculativeLoad:
+    """One load executed under speculation."""
+
+    address: int
+    size: int
+    value: bytes
+    would_fault: bool  # the exception that *would* fire at commit
+
+
+@dataclass
+class SpeculativeWindow:
+    """A bounded run of speculatively-executed loads.
+
+    Nothing in the window is architecturally visible until ``commit``;
+    ``squash`` discards the window, including any pending exceptions —
+    exactly the paper's "privileged exception once the instruction
+    becomes non-speculative".
+    """
+
+    hierarchy: MemoryHierarchy
+    depth: int = 32
+    _loads: list[SpeculativeLoad] = field(default_factory=list)
+
+    def load(self, address: int, size: int) -> bytes:
+        """Speculatively load; security bytes read as zero, no fault."""
+        if len(self._loads) >= self.depth:
+            raise RuntimeError("speculative window exhausted")
+        value, records = self.hierarchy.load(address, size)
+        entry = SpeculativeLoad(
+            address=address,
+            size=size,
+            value=value,
+            would_fault=bool(records),
+        )
+        self._loads.append(entry)
+        return value
+
+    def squash(self) -> int:
+        """Mis-speculation: discard everything; returns discarded count.
+
+        No exception escapes — the side channel the paper closes.
+        """
+        discarded = len(self._loads)
+        self._loads.clear()
+        return discarded
+
+    def commit(self) -> list[ExceptionRecord]:
+        """Retire the window; pending violations become precise faults."""
+        records: list[ExceptionRecord] = []
+        for entry in self._loads:
+            _, access_records = self.hierarchy.load(entry.address, entry.size)
+            records.extend(access_records)
+        self._loads.clear()
+        return records
+
+
+@dataclass
+class PaddingProbeResult:
+    """Outcome of the Section 7.2 padding-inference attack."""
+
+    probes: int
+    zero_reads: int
+    faults_observed: int
+    inferred_security_bytes: int
+
+    @property
+    def information_leaked(self) -> bool:
+        """Whether the attacker learned anything at all."""
+        return self.faults_observed > 0 or self.inferred_security_bytes > 0
+
+
+def padding_probe_attack(
+    hierarchy: MemoryHierarchy,
+    suspected_offsets: list[int],
+    base_address: int,
+    previous_contents_nonzero: bool,
+    zero_on_free: bool = True,
+) -> PaddingProbeResult:
+    """Run the paper's speculative padding-disclosure attack.
+
+    The attacker speculatively reads each suspected padding byte of an
+    object allocated over memory whose *previous* contents they know were
+    non-zero.  Reading zero where old data should be non-zero implies a
+    security byte — unless frees zero memory (``zero_on_free``), in which
+    case zero is what stale data reads too and the inference fails.
+    """
+    window = SpeculativeWindow(hierarchy, depth=len(suspected_offsets) + 1)
+    zero_reads = 0
+    inferred = 0
+    for offset in suspected_offsets:
+        value = window.load(base_address + offset, 1)
+        if value == b"\x00":
+            zero_reads += 1
+            stale_would_be_zero = zero_on_free or not previous_contents_nonzero
+            if not stale_would_be_zero:
+                # Old data was non-zero and frees do not zero: a zero can
+                # only mean the hardware substituted it -> security byte.
+                inferred += 1
+    faults = 0  # squashed speculation never faults architecturally
+    window.squash()
+    return PaddingProbeResult(
+        probes=len(suspected_offsets),
+        zero_reads=zero_reads,
+        faults_observed=faults,
+        inferred_security_bytes=inferred,
+    )

@@ -1,0 +1,157 @@
+"""SIMD/vector load handling (Appendix B).
+
+Wide vector loads (e.g. 512-bit AVX) complicate precise security-byte
+checking; the paper sketches three alternatives and leaves the choice to
+future work.  All three are implemented here so they can be compared:
+
+``PRECISE``
+    Issue per-element precise accesses (gather-style).  Exact — the same
+    semantics as scalar loads — but costs one check per element.
+
+``FAULT_ON_ANY``
+    Issue the wide load as-is and raise whenever *any* touched byte is a
+    security byte.  Cheapest, but a vector that merely *spans* a security
+    byte it never meant to use becomes a false positive.
+
+``PROPAGATE``
+    Load the data with a poison bit per byte carried in the vector
+    register; an exception is raised only when a poisoned lane is
+    *consumed* by a subsequent operation.  No false positives, at the
+    cost of one poison bit per register byte.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core import bitvector as bv
+from repro.core.exceptions import (
+    AccessKind,
+    ExceptionRecord,
+    SecurityByteAccess,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class VectorPolicy(enum.Enum):
+    """The three Appendix B alternatives."""
+
+    PRECISE = "precise"
+    FAULT_ON_ANY = "fault-on-any"
+    PROPAGATE = "propagate"
+
+
+@dataclass(frozen=True)
+class VectorRegister:
+    """A vector register with optional per-byte poison bits."""
+
+    data: bytes
+    poison: int  # bit i set = byte i derived from a security byte
+
+    @property
+    def width(self) -> int:
+        return len(self.data)
+
+    def lane(self, index: int, lane_bytes: int = 8) -> bytes:
+        """Extract one lane; raises if any of its bytes is poisoned.
+
+        This is the consume-time check of the PROPAGATE policy.
+        """
+        start = index * lane_bytes
+        if start + lane_bytes > self.width:
+            raise IndexError(f"lane {index} outside {self.width}-byte register")
+        lane_mask = ((1 << lane_bytes) - 1) << start
+        if self.poison & lane_mask:
+            raise SecurityByteAccess(
+                ExceptionRecord(
+                    kind=AccessKind.LOAD,
+                    address=start,
+                    byte_indices=tuple(
+                        i - start for i in bv.iter_set_bits(self.poison & lane_mask)
+                    ),
+                    detail="poisoned vector lane consumed",
+                )
+            )
+        return self.data[start : start + lane_bytes]
+
+
+class VectorUnit:
+    """Executes wide loads against the hierarchy under a chosen policy."""
+
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        policy: VectorPolicy = VectorPolicy.PRECISE,
+        register_bytes: int = 64,  # AVX-512
+    ):
+        if register_bytes <= 0 or register_bytes % 8 != 0:
+            raise ValueError("vector registers must be a multiple of 8 bytes")
+        self.hierarchy = hierarchy
+        self.policy = policy
+        self.register_bytes = register_bytes
+        self.false_positive_candidates = 0
+
+    def load(
+        self,
+        address: int,
+        width: int | None = None,
+        element_mask: int | None = None,
+        lane_bytes: int = 8,
+    ) -> VectorRegister:
+        """One wide load of ``width`` bytes (defaults to register width).
+
+        ``element_mask`` enables lanes (bit ``i`` = lane ``i`` wanted);
+        ``None`` means all lanes.  Under ``PRECISE`` the load is issued as
+        a gather of the enabled lanes only, so a security byte inside a
+        *disabled* lane cannot fault.  Under ``FAULT_ON_ANY`` the full
+        width is fetched regardless — the policy's false-positive source,
+        counted in ``false_positive_candidates``.
+        """
+        width = width or self.register_bytes
+        if width > self.register_bytes:
+            raise ValueError("load wider than the vector register")
+        lanes = width // lane_bytes
+        if element_mask is None:
+            element_mask = (1 << lanes) - 1
+
+        if self.policy is VectorPolicy.PRECISE:
+            # Gather: per-lane precise accesses, disabled lanes untouched.
+            data = bytearray(width)
+            for lane in range(lanes):
+                if not (element_mask >> lane) & 1:
+                    continue
+                start = lane * lane_bytes
+                data[start : start + lane_bytes] = self.hierarchy.load_or_raise(
+                    address + start, lane_bytes
+                )
+            return VectorRegister(bytes(data), 0)
+
+        value, records = self.hierarchy.load(address, width)
+        poison = 0
+        for record in records:
+            base = record.address & ~(bv.LINE_SIZE - 1)
+            for byte_in_line in record.byte_indices:
+                absolute = base + byte_in_line
+                if address <= absolute < address + width:
+                    poison = bv.set_bit(poison, absolute - address)
+
+        if self.policy is VectorPolicy.FAULT_ON_ANY:
+            if poison:
+                wanted = _bytes_mask(element_mask, lanes, lane_bytes)
+                if not poison & wanted:
+                    # The fault came from a lane the program never asked
+                    # for: a false positive of this policy.
+                    self.false_positive_candidates += 1
+                raise SecurityByteAccess(records[0])
+            return VectorRegister(value, 0)
+        return VectorRegister(value, poison)  # PROPAGATE
+
+
+def _bytes_mask(element_mask: int, lanes: int, lane_bytes: int) -> int:
+    """Expand a per-lane mask into a per-byte mask."""
+    out = 0
+    for lane in range(lanes):
+        if (element_mask >> lane) & 1:
+            out |= ((1 << lane_bytes) - 1) << (lane * lane_bytes)
+    return out

@@ -1,0 +1,25 @@
+"""Experiment drivers: one module per paper table/figure.
+
+=================================  =========================================
+Module                             Reproduces
+=================================  =========================================
+``fig03_struct_density``           Figure 3 (density histograms)
+``fig04_padding_sweep``            Figure 4 (fixed padding 1-7 B)
+``fig10_extra_latency``            Figure 10 (+1 cycle L2/L3)
+``fig11_policies``                 Figure 11 (opportunistic/full ± CFORM)
+``fig12_intelligent``              Figure 12 (intelligent ± CFORM)
+``tables``                         Tables 1, 2, 3, 4, 5, 6, 7
+``sec7_derandomization``           Section 7.3 attack probabilities
+``runner``                         everything → EXPERIMENTS.md
+=================================  =========================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig03_struct_density,
+    fig04_padding_sweep,
+    fig10_extra_latency,
+    fig11_policies,
+    fig12_intelligent,
+    sec7_derandomization,
+    tables,
+)

@@ -1,0 +1,86 @@
+"""DMA / heterogeneous-access model (Section 7.2's architectural gap).
+
+Califorms' protection lives in the CPU's memory hierarchy; "its
+protection is lost whenever one of its layers is bypassed (e.g.,
+heterogeneous architectures or DMA is used)".  This model makes that gap
+— and its mitigation — concrete:
+
+* a naive DMA engine reads lines straight from DRAM and hands over the
+  *raw sentinel-format bytes*: blacklisted accesses are not detected and
+  the header/parked-byte encoding leaks layout information;
+* a califorms-aware engine ("if the algorithm used for califorming is
+  used by accelerators then attacks through heterogeneous components can
+  also be averted") decodes lines, returns zeroed security bytes and
+  reports violations like the core would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import bitvector as bv
+from repro.core.exceptions import (
+    AccessKind,
+    ExceptionRecord,
+)
+from repro.core.sentinel import decode
+from repro.memory.dram import Dram, line_address
+
+
+@dataclass
+class DmaTransfer:
+    """Result of one DMA read."""
+
+    data: bytes
+    violations: list[ExceptionRecord] = field(default_factory=list)
+    leaked_format_bytes: int = 0  # raw sentinel-encoded bytes exposed
+
+
+@dataclass
+class DmaEngine:
+    """A device-side reader that bypasses the CPU caches entirely."""
+
+    dram: Dram
+    respects_califorms: bool = False
+
+    def read(self, address: int, size: int) -> DmaTransfer:
+        """Read ``size`` bytes at ``address`` directly from DRAM.
+
+        The caller is responsible for having flushed the caches (real
+        DMA engines snoop or rely on driver flushes; the experiments use
+        ``MemoryHierarchy.flush_all``).
+        """
+        out = bytearray()
+        violations: list[ExceptionRecord] = []
+        leaked = 0
+        cursor = address
+        remaining = size
+        while remaining > 0:
+            base = line_address(cursor)
+            offset = cursor - base
+            take = min(remaining, 64 - offset)
+            line = self.dram.read_line(base)
+            if not self.respects_califorms:
+                # Raw device view: sentinel-format bytes leak as-is and
+                # nothing is checked.
+                out += line.raw[offset : offset + take]
+                if line.califormed:
+                    leaked += take
+            else:
+                decoded = decode(line)
+                touched = bv.range_mask(offset, take) & decoded.secmask
+                if touched:
+                    violations.append(
+                        ExceptionRecord(
+                            kind=AccessKind.LOAD,
+                            address=cursor,
+                            byte_indices=tuple(bv.iter_set_bits(touched)),
+                            detail="DMA read touched security bytes",
+                        )
+                    )
+                out += bytes(decoded.data[offset : offset + take])
+            cursor += take
+            remaining -= take
+        return DmaTransfer(
+            data=bytes(out), violations=violations, leaked_format_bytes=leaked
+        )

@@ -1,0 +1,91 @@
+"""Main-memory model with ECC spare-bit metadata.
+
+Califorms keeps lines califormed all the way to DRAM: "when a califormed
+cache line is evicted from the last-level cache to main memory, we keep the
+cache line califormed and store the additional one metadata bit into spare
+ECC bits" (Section 3).  This model therefore stores
+:class:`~repro.core.line_formats.SentinelLine` objects directly — the
+``califormed`` flag *is* the spare ECC bit, and the model accounts for how
+many such bits are in use so the experiments can report metadata footprint.
+
+Unmapped addresses read as natural zero lines, like freshly zeroed physical
+memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bitvector import LINE_SIZE
+from repro.core.line_formats import SentinelLine
+
+
+def line_address(address: int) -> int:
+    """Round ``address`` down to its cache-line base."""
+    return address & ~(LINE_SIZE - 1)
+
+
+@dataclass
+class DramStats:
+    """Access counters for the DRAM model."""
+
+    reads: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+
+@dataclass
+class Dram:
+    """A sparse 64-byte-line main memory.
+
+    Implements the ``LineStore`` protocol used by every cache level:
+    ``read_line`` / ``write_line`` in the L2+ sentinel format.
+    """
+
+    size_bytes: int = 8 << 30  # Table 3: 8 GB DDR3-1333
+    _lines: dict[int, SentinelLine] = field(default_factory=dict)
+    stats: DramStats = field(default_factory=DramStats)
+
+    def read_line(self, address: int) -> SentinelLine:
+        """Fetch the line containing ``address`` (line-aligned internally)."""
+        base = line_address(address)
+        self._check_bounds(base)
+        self.stats.reads += 1
+        line = self._lines.get(base)
+        if line is None:
+            return SentinelLine.natural()
+        return line
+
+    def write_line(self, address: int, line: SentinelLine) -> None:
+        """Store a full line at the (aligned) address."""
+        base = line_address(address)
+        self._check_bounds(base)
+        self.stats.writes += 1
+        self._lines[base] = line
+
+    # -- inspection used by the OS swap model and the experiments ---------
+
+    def resident_lines(self) -> list[int]:
+        """Addresses of lines that have ever been written, ascending."""
+        return sorted(self._lines)
+
+    def califormed_line_count(self) -> int:
+        """How many resident lines currently use their ECC spare bit."""
+        return sum(1 for line in self._lines.values() if line.califormed)
+
+    def ecc_spare_bits_used(self) -> int:
+        """Metadata storage in use, in bits (one per califormed line)."""
+        return self.califormed_line_count()
+
+    def drop_line(self, address: int) -> SentinelLine | None:
+        """Remove and return a line (used by the swap model)."""
+        return self._lines.pop(line_address(address), None)
+
+    def _check_bounds(self, base: int) -> None:
+        if not 0 <= base < self.size_bytes:
+            raise ValueError(
+                f"address 0x{base:x} outside {self.size_bytes}-byte DRAM"
+            )

@@ -1,0 +1,96 @@
+"""The L1 data cache: bitvector metadata, access checks, CFORM execution.
+
+This is where all of Figure 6 lives.  Lines are held in the
+*califorms-bitvector* format (one metadata bit per byte) so hits need no
+address re-calculation; conversion to and from the sentinel format happens
+on fill and spill at this level's boundary (Figure 1), implemented by the
+codec in :mod:`repro.core.sentinel`.
+
+Loads that touch security bytes return the pre-determined value zero and
+carry a precise exception record; stores that touch security bytes are
+reported *before* they commit (Section 5.1).  ``CFORM`` behaves like a
+store: it write-allocates the line, then edits the metadata under the
+Table 1 K-map.
+"""
+
+from __future__ import annotations
+
+from repro.core import bitvector as bv
+from repro.core.cform import CformRequest, apply_cform
+from repro.core.exceptions import ExceptionRecord
+from repro.core.line_formats import BitvectorLine, SentinelLine
+from repro.core.sentinel import decode, encode
+from repro.memory.cache import CacheGeometry, CacheLevel, LineStore
+
+
+class L1DataCache(CacheLevel[BitvectorLine]):
+    """L1-D holding lines in califorms-bitvector format."""
+
+    def __init__(self, geometry: CacheGeometry, backing: LineStore, name: str = "L1D"):
+        super().__init__(
+            name,
+            geometry,
+            backing,
+            fill=decode,
+            spill=self._spill_line,
+            converts=True,
+        )
+
+    @staticmethod
+    def _spill_line(line: BitvectorLine) -> SentinelLine:
+        return encode(line)
+
+    # -- architectural accesses (single line each) --------------------------
+
+    def load(self, address: int, size: int) -> tuple[bytes, ExceptionRecord | None]:
+        """Load ``size`` bytes; the range must stay within one line."""
+        base, offset = self._split(address, size)
+        line = self.access_line(base, for_write=False)
+        return line.load(offset, size, base_address=base)
+
+    def store(self, address: int, data: bytes) -> ExceptionRecord | None:
+        """Store ``data``; the range must stay within one line.
+
+        The line is dirtied only when the store commits — a store squashed
+        by a security-byte violation modifies nothing.
+        """
+        base, offset = self._split(address, len(data))
+        line = self.access_line(base, for_write=False)
+        record = line.store(offset, data, base_address=base)
+        if record is None:
+            self._mark_dirty(base)
+        return record
+
+    def cform(self, request: CformRequest) -> None:
+        """Execute a ``CFORM`` against this cache (write-allocate, then edit).
+
+        Raises :class:`~repro.core.exceptions.CformUsageError` on K-map
+        violations; the line is untouched in that case.
+        """
+        line = self.access_line(request.line_address, for_write=False)
+        apply_cform(line, request)
+        self._mark_dirty(request.line_address)
+
+    def peek_secmask(self, address: int) -> int | None:
+        """Security mask of a resident line, or None if not cached.
+
+        Debug/experiment helper; does not perturb LRU or statistics.
+        """
+        set_index, tag = self.geometry.locate(address)
+        entry = self._sets[set_index].get(tag)
+        return entry.payload.secmask if entry is not None else None
+
+    def _mark_dirty(self, address: int) -> None:
+        set_index, tag = self.geometry.locate(address)
+        self._sets[set_index][tag].dirty = True
+
+    @staticmethod
+    def _split(address: int, size: int) -> tuple[int, int]:
+        base = address & ~(bv.LINE_SIZE - 1)
+        offset = address - base
+        if offset + size > bv.LINE_SIZE:
+            raise ValueError(
+                f"access [{address:#x}, +{size}) crosses a line boundary; "
+                "the hierarchy splits accesses before they reach L1"
+            )
+        return base, offset

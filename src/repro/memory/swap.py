@@ -1,0 +1,95 @@
+"""Operating-system page-swap support for Califorms metadata.
+
+Storage devices have no spare ECC bits, so "when a page with califormed
+data is swapped out from main memory, the page fault handler needs to store
+the metadata for the entire page into a reserved address space managed by
+the operating system; the metadata is reclaimed upon swap in"
+(Section 6.3).  For a 4 KB page that metadata is 64 lines x 1 bit = 8 B.
+
+:class:`SwapManager` models exactly that: swap-out strips each line's
+califormed bit into a reserved per-page record and moves the raw 64-byte
+payloads to the swap device; swap-in reunites them.  The sentinel *format*
+of the data is untouched in both directions — only the one bit per line
+needs a home.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bitvector import LINE_SIZE
+from repro.core.line_formats import SentinelLine
+from repro.memory.dram import Dram
+
+#: Standard small-page size assumed by the paper's arithmetic.
+PAGE_SIZE = 4096
+
+#: Lines per page; also the number of metadata bits per page record.
+LINES_PER_PAGE = PAGE_SIZE // LINE_SIZE
+
+#: Metadata bytes per swapped page ("the metadata for a 4KB page consumes
+#: only 8B", Section 6.3).
+METADATA_BYTES_PER_PAGE = LINES_PER_PAGE // 8
+
+
+def page_base(address: int) -> int:
+    """Round an address down to its page base."""
+    return address & ~(PAGE_SIZE - 1)
+
+
+@dataclass
+class SwapStats:
+    pages_out: int = 0
+    pages_in: int = 0
+
+
+@dataclass
+class SwapManager:
+    """Kernel-side page swapper that preserves Califorms metadata."""
+
+    dram: Dram
+    _swap_device: dict[int, list[bytes]] = field(default_factory=dict)
+    _metadata_store: dict[int, int] = field(default_factory=dict)
+    stats: SwapStats = field(default_factory=SwapStats)
+
+    def swap_out(self, address: int) -> None:
+        """Evict the page containing ``address`` to the swap device.
+
+        The califormed bits are gathered into the reserved metadata store
+        (one 64-bit record per page); the device receives raw bytes only.
+        """
+        base = page_base(address)
+        if base in self._swap_device:
+            raise ValueError(f"page 0x{base:x} is already swapped out")
+        payloads: list[bytes] = []
+        bits = 0
+        for index in range(LINES_PER_PAGE):
+            line_addr = base + index * LINE_SIZE
+            line = self.dram.drop_line(line_addr) or SentinelLine.natural()
+            payloads.append(line.raw)
+            if line.califormed:
+                bits |= 1 << index
+        self._swap_device[base] = payloads
+        self._metadata_store[base] = bits
+        self.stats.pages_out += 1
+
+    def swap_in(self, address: int) -> None:
+        """Bring a page back from the swap device, reattaching metadata."""
+        base = page_base(address)
+        payloads = self._swap_device.pop(base, None)
+        if payloads is None:
+            raise KeyError(f"page 0x{base:x} is not swapped out")
+        bits = self._metadata_store.pop(base)
+        for index, raw in enumerate(payloads):
+            califormed = bool((bits >> index) & 1)
+            self.dram.write_line(
+                base + index * LINE_SIZE, SentinelLine(raw, califormed)
+            )
+        self.stats.pages_in += 1
+
+    def is_swapped(self, address: int) -> bool:
+        return page_base(address) in self._swap_device
+
+    def metadata_bytes_in_use(self) -> int:
+        """Reserved-address-space footprint of the metadata store."""
+        return len(self._metadata_store) * METADATA_BYTES_PER_PAGE

@@ -1,0 +1,105 @@
+"""Software half of Califorms: types, layout, policies, allocator, runtime.
+
+* :mod:`repro.softstack.ctypes_model` — C-like type system.
+* :mod:`repro.softstack.layout` — natural-alignment layout + padding census.
+* :mod:`repro.softstack.insertion` — opportunistic / full / intelligent
+  security-byte insertion (Listing 1) plus the Figure 4 fixed-padding pass.
+* :mod:`repro.softstack.compiler` — struct transformation and CFORM plans.
+* :mod:`repro.softstack.allocator` — clean-before-use quarantining heap.
+* :mod:`repro.softstack.runtime` — the full simulated process.
+"""
+
+from repro.softstack.allocator import Allocation, CaliformsHeap, HeapError, HeapStats
+from repro.softstack.compiler import (
+    CompilerConfig,
+    CompilerPass,
+    allocation_requests,
+    blanket_requests,
+    free_requests,
+    stack_frame_requests,
+)
+from repro.softstack.ctypes_model import (
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    FUNCTION_POINTER,
+    INT,
+    LISTING_1_STRUCT_A,
+    LONG,
+    POINTER,
+    SHORT,
+    Array,
+    CUnion,
+    Field,
+    Scalar,
+    ScalarKind,
+    Struct,
+    align_up,
+    is_blacklist_target,
+    struct,
+)
+from repro.softstack.insertion import (
+    CaliformedLayout,
+    Policy,
+    SecuritySpan,
+    apply_policy,
+    fixed_full,
+    full,
+    intelligent,
+    opportunistic,
+)
+from repro.softstack.layout import (
+    StructLayout,
+    densities,
+    describe,
+    fraction_with_padding,
+    layout_struct,
+)
+from repro.softstack.runtime import ObjectHandle, Process, StackFrame
+
+__all__ = [
+    "CHAR",
+    "SHORT",
+    "INT",
+    "LONG",
+    "FLOAT",
+    "DOUBLE",
+    "POINTER",
+    "FUNCTION_POINTER",
+    "Scalar",
+    "ScalarKind",
+    "Array",
+    "Field",
+    "Struct",
+    "CUnion",
+    "struct",
+    "align_up",
+    "is_blacklist_target",
+    "LISTING_1_STRUCT_A",
+    "StructLayout",
+    "layout_struct",
+    "densities",
+    "fraction_with_padding",
+    "describe",
+    "Policy",
+    "SecuritySpan",
+    "CaliformedLayout",
+    "opportunistic",
+    "full",
+    "intelligent",
+    "fixed_full",
+    "apply_policy",
+    "CompilerPass",
+    "CompilerConfig",
+    "allocation_requests",
+    "free_requests",
+    "blanket_requests",
+    "stack_frame_requests",
+    "CaliformsHeap",
+    "HeapError",
+    "HeapStats",
+    "Allocation",
+    "Process",
+    "ObjectHandle",
+    "StackFrame",
+]

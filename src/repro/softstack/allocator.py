@@ -1,0 +1,214 @@
+"""The Califorms heap allocator (Section 6.1).
+
+Implements the paper's *clean-before-use* heap discipline on top of the
+simulated memory hierarchy:
+
+* the whole arena is blanket-blacklisted when the heap is created
+  ("unallocated memory remains filled with security bytes all the time");
+* ``malloc`` carves a region and issues CFORMs that unset exactly the
+  object's data bytes — intra-object security spans stay blacklisted;
+* ``free`` issues CFORMs that re-set the data bytes (which also zeroes
+  them, per Section 7.2), then parks the region in a **quarantine** FIFO
+  so recently-freed memory is not immediately reused ("we do not
+  reallocate recently freed regions until the heap is sufficiently
+  consumed") — the temporal-safety half of the design;
+* every CFORM issued is counted, because executing them is the dominant
+  software overhead the paper measures (Figures 11/12).
+
+The allocator is deliberately simple (first-fit over a sorted free list,
+16-byte alignment like glibc) — allocation *policy* is not what the paper
+evaluates; allocation *events* are.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import CaliformsError, ConfigurationError
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.softstack.compiler import (
+    allocation_requests,
+    blanket_requests,
+    free_requests,
+)
+from repro.softstack.insertion import CaliformedLayout
+from repro.softstack.ctypes_model import align_up
+
+#: glibc-style minimum allocation alignment.
+MALLOC_ALIGN = 16
+
+
+class HeapError(CaliformsError):
+    """Misuse of the simulated heap (OOM, double free, bad pointer)."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A live heap object: its address and (optional) califormed layout."""
+
+    address: int
+    size: int
+    layout: CaliformedLayout | None = None
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+
+@dataclass
+class HeapStats:
+    """Event counters the timing model consumes."""
+
+    mallocs: int = 0
+    frees: int = 0
+    cform_instructions: int = 0
+    bytes_allocated: int = 0
+    security_bytes_live: int = 0
+    quarantine_releases: int = 0
+
+
+@dataclass
+class CaliformsHeap:
+    """A quarantining, clean-before-use heap over the memory hierarchy."""
+
+    hierarchy: MemoryHierarchy
+    base: int = 0x100000
+    size: int = 1 << 20
+    quarantine_fraction: float = 0.25
+    use_non_temporal_cform: bool = False
+    stats: HeapStats = field(default_factory=HeapStats)
+
+    def __post_init__(self) -> None:
+        if self.base % 64 != 0 or self.size % 64 != 0:
+            raise ConfigurationError("heap base and size must be line aligned")
+        if not 0.0 <= self.quarantine_fraction < 1.0:
+            raise ConfigurationError("quarantine fraction must be in [0, 1)")
+        self._free_list: list[tuple[int, int]] = [(self.base, self.size)]
+        self._quarantine: deque[tuple[int, int]] = deque()
+        self._quarantined_bytes = 0
+        self._live: dict[int, Allocation] = {}
+        self._carved: dict[int, int] = {}  # address -> rounded region size
+        # Clean-before-use: blanket-blacklist the whole arena up front.
+        for request in blanket_requests(self.base, self.size, blacklist=True):
+            self._issue(request)
+
+    # -- allocation -----------------------------------------------------------
+
+    def malloc(self, layout: CaliformedLayout) -> Allocation:
+        """Allocate one object with the given califormed layout."""
+        address = self._carve(layout.size)
+        for request in allocation_requests(layout, address):
+            self._issue(request)
+        allocation = Allocation(address, layout.size, layout)
+        self._live[address] = allocation
+        self.stats.mallocs += 1
+        self.stats.bytes_allocated += layout.size
+        self.stats.security_bytes_live += layout.security_bytes
+        return allocation
+
+    def malloc_raw(self, size: int) -> Allocation:
+        """Allocate a layout-less buffer (all bytes are data)."""
+        if size <= 0:
+            raise HeapError("allocation size must be positive")
+        address = self._carve(size)
+        for request in blanket_requests(address, size, blacklist=False):
+            self._issue(request)
+        allocation = Allocation(address, size)
+        self._live[address] = allocation
+        self.stats.mallocs += 1
+        self.stats.bytes_allocated += size
+        return allocation
+
+    def free(self, allocation: Allocation) -> None:
+        """Free an object: re-blacklist (and zero) its data bytes, then
+        quarantine the region."""
+        live = self._live.pop(allocation.address, None)
+        if live is None:
+            raise HeapError(
+                f"free of unknown or already-freed pointer 0x{allocation.address:x}"
+            )
+        if live.layout is not None:
+            requests = free_requests(live.layout, live.address)
+            self.stats.security_bytes_live -= live.layout.security_bytes
+        else:
+            requests = blanket_requests(live.address, live.size, blacklist=True)
+        for request in requests:
+            self._issue(request)
+        self.stats.frees += 1
+        carved = self._carved.pop(live.address)
+        self._quarantine.append((live.address, carved))
+        self._quarantined_bytes += carved
+        self._release_quarantine_if_needed()
+
+    # -- introspection ----------------------------------------------------------
+
+    def live_allocations(self) -> list[Allocation]:
+        return sorted(self._live.values(), key=lambda a: a.address)
+
+    def quarantined_bytes(self) -> int:
+        return self._quarantined_bytes
+
+    def free_bytes(self) -> int:
+        return sum(size for _, size in self._free_list)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _issue(self, request) -> None:
+        if self.use_non_temporal_cform:
+            self.hierarchy.cform_non_temporal(request)
+        else:
+            self.hierarchy.cform(request)
+        self.stats.cform_instructions += 1
+
+    def _carve(self, size: int) -> int:
+        """First-fit carve of an aligned region from the free list."""
+        needed = align_up(size, MALLOC_ALIGN)
+        for index, (start, length) in enumerate(self._free_list):
+            aligned = align_up(start, MALLOC_ALIGN)
+            waste = aligned - start
+            if length - waste < needed:
+                continue
+            remaining = length - waste - needed
+            replacement: list[tuple[int, int]] = []
+            if waste:
+                replacement.append((start, waste))
+            if remaining:
+                replacement.append((aligned + needed, remaining))
+            self._free_list[index : index + 1] = replacement
+            self._carved[aligned] = needed
+            return aligned
+        # Out of easy space: force quarantine drain once, then retry.
+        if self._quarantine:
+            self._drain_quarantine()
+            return self._carve(size)
+        raise HeapError(
+            f"out of memory: need {needed} bytes, "
+            f"{self.free_bytes()} free / {self._quarantined_bytes} quarantined"
+        )
+
+    def _release_quarantine_if_needed(self) -> None:
+        limit = int(self.size * self.quarantine_fraction)
+        while self._quarantined_bytes > limit:
+            self._release_one()
+
+    def _drain_quarantine(self) -> None:
+        while self._quarantine:
+            self._release_one()
+
+    def _release_one(self) -> None:
+        address, size = self._quarantine.popleft()
+        self._quarantined_bytes -= size
+        self._free_list.append((address, size))
+        self._free_list.sort()
+        self._coalesce()
+        self.stats.quarantine_releases += 1
+
+    def _coalesce(self) -> None:
+        merged: list[tuple[int, int]] = []
+        for start, length in self._free_list:
+            if merged and merged[-1][0] + merged[-1][1] == start:
+                merged[-1] = (merged[-1][0], merged[-1][1] + length)
+            else:
+                merged.append((start, length))
+        self._free_list = merged

@@ -1,0 +1,169 @@
+"""The Califorms "compiler pass": type transforms plus CFORM planning.
+
+Stands in for the paper's LLVM source-to-source pass (Section 6.2).  It
+consumes struct declarations, applies the configured insertion policy, and
+emits the runtime's ``CFORM`` plans:
+
+* **allocation plan** — unset the *data* bytes of the object's footprint
+  (clean-before-use: the heap arena is blanket-blacklisted, so making an
+  object live means whitelisting exactly its data bytes; the security-byte
+  spans simply stay blacklisted);
+* **free plan** — re-set those same data bytes (the freed region returns
+  to fully-blacklisted, and the hardware zeroes the bytes, giving the
+  Section 6.1 temporal-safety semantics).
+
+Driving the plans through the strict Table 1 K-map has a pleasant side
+effect: double frees and overlapping allocations fault in simulation, just
+as they would trap on real Califorms hardware.
+
+One ``CFORM`` covers one cache line (64 B), so the plan for an object is
+one request per line it overlaps — exactly the cost model the paper's
+software overhead measurements emulate with one dummy store per line.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core import bitvector as bv
+from repro.core.cform import CformRequest
+from repro.softstack.ctypes_model import Struct
+from repro.softstack.insertion import (
+    CaliformedLayout,
+    Policy,
+    apply_policy,
+    fixed_full,
+)
+from repro.softstack.layout import StructLayout, layout_struct
+
+
+@dataclass
+class CompilerConfig:
+    """User-facing knobs of the pass (policy and span-size range)."""
+
+    policy: Policy = Policy.INTELLIGENT
+    min_bytes: int = 1
+    max_bytes: int = 7
+    seed: int = 0
+
+
+@dataclass
+class CompilerPass:
+    """Transforms struct declarations under one configuration.
+
+    A fresh :class:`random.Random` seeded from ``config.seed`` plus the
+    struct name keeps layouts stable per struct while still varying across
+    structs and across differently-seeded "binaries".
+    """
+
+    config: CompilerConfig = field(default_factory=CompilerConfig)
+
+    def transform(self, struct: Struct) -> CaliformedLayout:
+        """Apply the configured policy to one struct."""
+        natural = layout_struct(struct)
+        rng = random.Random(f"{self.config.seed}:{struct.name}")
+        return apply_policy(
+            natural,
+            self.config.policy,
+            rng,
+            self.config.min_bytes,
+            self.config.max_bytes,
+        )
+
+    def transform_fixed(self, struct: Struct, pad_bytes: int) -> CaliformedLayout:
+        """The Figure 4 fixed-padding transform."""
+        return fixed_full(layout_struct(struct), pad_bytes)
+
+    def transform_all(self, structs: list[Struct]) -> dict[str, CaliformedLayout]:
+        return {s.name: self.transform(s) for s in structs}
+
+    @staticmethod
+    def natural_layouts(structs: list[Struct]) -> list[StructLayout]:
+        """Un-transformed layouts (the Figure 3 static census input)."""
+        return [layout_struct(s) for s in structs]
+
+
+# -- CFORM planning ----------------------------------------------------------
+
+
+def _per_line_masks(base_address: int, offsets: list[int]) -> dict[int, int]:
+    """Group absolute byte offsets into per-line 64-bit masks."""
+    masks: dict[int, int] = {}
+    for offset in offsets:
+        address = base_address + offset
+        line = address & ~(bv.LINE_SIZE - 1)
+        masks[line] = masks.get(line, 0) | bv.bit(address - line)
+    return masks
+
+
+def allocation_requests(
+    layout: CaliformedLayout, base_address: int
+) -> list[CformRequest]:
+    """CFORMs that make an object live inside a blacklisted arena.
+
+    Unsets the object's data bytes; spans stay blacklisted.  One request
+    per overlapped cache line.
+    """
+    masks = _per_line_masks(base_address, layout.data_byte_offsets)
+    return [
+        CformRequest(line, attributes=0, mask=mask)
+        for line, mask in sorted(masks.items())
+    ]
+
+
+def free_requests(layout: CaliformedLayout, base_address: int) -> list[CformRequest]:
+    """CFORMs that return a dead object's data bytes to the blacklist."""
+    masks = _per_line_masks(base_address, layout.data_byte_offsets)
+    return [
+        CformRequest(line, attributes=mask, mask=mask)
+        for line, mask in sorted(masks.items())
+    ]
+
+
+def blanket_requests(
+    base_address: int, size: int, blacklist: bool
+) -> list[CformRequest]:
+    """CFORMs that (un)blacklist a raw byte range wholesale.
+
+    Used for arena initialisation (``blacklist=True`` over fresh memory)
+    and for raw, layout-less allocations.
+    """
+    masks = _per_line_masks(base_address, list(range(size)))
+    if blacklist:
+        return [
+            CformRequest(line, attributes=mask, mask=mask)
+            for line, mask in sorted(masks.items())
+        ]
+    return [
+        CformRequest(line, attributes=0, mask=mask)
+        for line, mask in sorted(masks.items())
+    ]
+
+
+def stack_frame_requests(
+    layouts: list[tuple[CaliformedLayout, int]], *, entering: bool
+) -> list[CformRequest]:
+    """CFORMs for a stack frame under the dirty-before-use discipline.
+
+    The stack starts all-regular; frame entry *sets* each local object's
+    security spans, frame exit *unsets* them (Section 6.1: stack uses
+    dirty-before-use because use-after-return attacks are rarer).
+
+    ``layouts`` pairs each local's califormed layout with its absolute
+    base address.
+    """
+    offsets_by_line: dict[int, int] = {}
+    for layout, base_address in layouts:
+        span_offsets = sorted(layout.security_offsets_set())
+        for line, mask in _per_line_masks(base_address, span_offsets).items():
+            offsets_by_line[line] = offsets_by_line.get(line, 0) | mask
+    if entering:
+        return [
+            CformRequest(line, attributes=mask, mask=mask)
+            for line, mask in sorted(offsets_by_line.items())
+        ]
+    return [
+        CformRequest(line, attributes=0, mask=mask)
+        for line, mask in sorted(offsets_by_line.items())
+    ]

@@ -1,0 +1,218 @@
+"""A C-like type system for the Califorms compiler pass.
+
+The paper's software half reasons about C/C++ *compound data types*:
+where the compiler must insert alignment padding, which fields are arrays
+or pointers (the intelligent policy's targets), and how layouts change
+when security bytes are added.  This module models exactly the part of the
+C type system those decisions need:
+
+* scalars with natural size/alignment for a typical LP64 target,
+* pointers and function pointers (8-byte),
+* fixed-length arrays,
+* structs (recursively nestable) and unions.
+
+Layout computation itself lives in :mod:`repro.softstack.layout`; the
+tests cross-check it against CPython's ``ctypes``, which implements the
+same ABI rules natively.
+
+Bit-fields are deliberately unsupported: the paper notes byte-granular
+blacklisting cannot protect individual bit-fields (Section 7.2,
+"Bit-granularity Attacks") and treats composites of bit-fields as opaque.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union as TypingUnion
+
+
+class ScalarKind(enum.Enum):
+    """Coarse classification used by the insertion policies."""
+
+    INTEGER = "integer"
+    FLOATING = "floating"
+    POINTER = "pointer"
+    FUNCTION_POINTER = "function-pointer"
+
+
+@dataclass(frozen=True)
+class Scalar:
+    """A primitive C type with natural size and alignment."""
+
+    name: str
+    size: int
+    align: int
+    kind: ScalarKind = ScalarKind.INTEGER
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.align <= 0:
+            raise ValueError(f"{self.name}: size and alignment must be positive")
+        if self.size % self.align != 0:
+            raise ValueError(f"{self.name}: size must be a multiple of alignment")
+
+
+# The LP64 primitive zoo (x86-64 SysV sizes, matching the paper's target).
+CHAR = Scalar("char", 1, 1)
+SIGNED_CHAR = Scalar("signed char", 1, 1)
+UNSIGNED_CHAR = Scalar("unsigned char", 1, 1)
+BOOL = Scalar("_Bool", 1, 1)
+SHORT = Scalar("short", 2, 2)
+UNSIGNED_SHORT = Scalar("unsigned short", 2, 2)
+INT = Scalar("int", 4, 4)
+UNSIGNED_INT = Scalar("unsigned int", 4, 4)
+LONG = Scalar("long", 8, 8)
+UNSIGNED_LONG = Scalar("unsigned long", 8, 8)
+LONG_LONG = Scalar("long long", 8, 8)
+FLOAT = Scalar("float", 4, 4, ScalarKind.FLOATING)
+DOUBLE = Scalar("double", 8, 8, ScalarKind.FLOATING)
+POINTER = Scalar("void *", 8, 8, ScalarKind.POINTER)
+FUNCTION_POINTER = Scalar("void (*)()", 8, 8, ScalarKind.FUNCTION_POINTER)
+
+#: Name → scalar, for corpus parsing and generators.
+SCALARS_BY_NAME = {
+    scalar.name: scalar
+    for scalar in (
+        CHAR,
+        SIGNED_CHAR,
+        UNSIGNED_CHAR,
+        BOOL,
+        SHORT,
+        UNSIGNED_SHORT,
+        INT,
+        UNSIGNED_INT,
+        LONG,
+        UNSIGNED_LONG,
+        LONG_LONG,
+        FLOAT,
+        DOUBLE,
+        POINTER,
+        FUNCTION_POINTER,
+    )
+}
+
+
+@dataclass(frozen=True)
+class Array:
+    """A fixed-length C array."""
+
+    element: "CType"
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError("array length must be positive")
+
+    @property
+    def size(self) -> int:
+        return self.element.size * self.length
+
+    @property
+    def align(self) -> int:
+        return self.element.align
+
+    @property
+    def name(self) -> str:
+        return f"{self.element.name}[{self.length}]"
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named member of a struct or union."""
+
+    name: str
+    ctype: "CType"
+
+
+@dataclass(frozen=True)
+class Struct:
+    """A C struct; size/alignment follow the usual ABI rules."""
+
+    name: str
+    fields: tuple[Field, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise ValueError(f"struct {self.name} must have at least one field")
+        names = [f.name for f in self.fields]
+        if len(names) != len(set(names)):
+            raise ValueError(f"struct {self.name} has duplicate field names")
+
+    @property
+    def align(self) -> int:
+        return max(field.ctype.align for field in self.fields)
+
+    @property
+    def size(self) -> int:
+        # Offsets with natural alignment, then round the total up to the
+        # struct's own alignment (trailing padding).
+        offset = 0
+        for member in self.fields:
+            offset = align_up(offset, member.ctype.align)
+            offset += member.ctype.size
+        return align_up(offset, self.align)
+
+    def field(self, name: str) -> Field:
+        for member in self.fields:
+            if member.name == name:
+                return member
+        raise KeyError(f"struct {self.name} has no field {name!r}")
+
+
+@dataclass(frozen=True)
+class CUnion:
+    """A C union: all members at offset zero."""
+
+    name: str
+    fields: tuple[Field, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise ValueError(f"union {self.name} must have at least one field")
+
+    @property
+    def align(self) -> int:
+        return max(field.ctype.align for field in self.fields)
+
+    @property
+    def size(self) -> int:
+        return align_up(max(f.ctype.size for f in self.fields), self.align)
+
+
+CType = TypingUnion[Scalar, Array, Struct, CUnion]
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    remainder = value % alignment
+    return value if remainder == 0 else value + alignment - remainder
+
+
+def struct(name: str, *members: tuple[str, CType]) -> Struct:
+    """Convenience constructor: ``struct("A", ("c", CHAR), ("i", INT))``."""
+    return Struct(name, tuple(Field(n, t) for n, t in members))
+
+
+def is_blacklist_target(ctype: CType) -> bool:
+    """Whether the intelligent policy protects this field type.
+
+    Section 2: "data types which are most prone to abuse by an attacker
+    via overflow type accesses: (1) arrays and (2) data and function
+    pointers."
+    """
+    if isinstance(ctype, Array):
+        return True
+    if isinstance(ctype, Scalar):
+        return ctype.kind in (ScalarKind.POINTER, ScalarKind.FUNCTION_POINTER)
+    return False
+
+
+#: The paper's running example (Listing 1a).
+LISTING_1_STRUCT_A = struct(
+    "A",
+    ("c", CHAR),
+    ("i", INT),
+    ("buf", Array(CHAR, 64)),
+    ("fp", FUNCTION_POINTER),
+    ("d", DOUBLE),
+)

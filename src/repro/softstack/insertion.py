@@ -1,0 +1,278 @@
+"""Security-byte insertion policies (Section 2 / Listing 1 / Section 6.2).
+
+Three policies transform a natural struct layout into a *califormed
+layout* — field offsets plus the security-byte spans to blacklist:
+
+``opportunistic`` (Listing 1b)
+    Harvest the compiler's existing padding bytes.  No layout change, no
+    memory overhead, interoperable with external modules.
+
+``full`` (Listing 1c)
+    Insert a random-sized span (1..max bytes) before the first field,
+    between every pair of fields, and after the last field.  Widest
+    coverage, largest overhead.  Natural padding that still appears after
+    insertion is harvested too (it is equally dead).
+
+``intelligent`` (Listing 1d)
+    Insert random-sized spans only around the attack-prone fields: arrays
+    and (data or function) pointers.  Natural padding between other fields
+    is deliberately *not* harvested — the paper notes doing so would add
+    CFORM traffic for little security value.
+
+``fixed_full``
+    The Figure 4 measurement pass: a fixed-size span after every field.
+    Used to chart slowdown versus padding size.
+
+Random span sizes are drawn per-site from ``[min_bytes, max_bytes]``
+(uniform), seeded per compilation so that three differently-seeded
+binaries of the same program get different layouts (the derandomization
+defense of Section 7.3 and the error bars of Figure 11).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+from repro.softstack.ctypes_model import (
+    Struct,
+    align_up,
+    is_blacklist_target,
+)
+from repro.softstack.layout import StructLayout, layout_struct
+
+
+class Policy(enum.Enum):
+    """The user-selectable insertion policy (Section 6.2)."""
+
+    OPPORTUNISTIC = "opportunistic"
+    FULL = "full"
+    INTELLIGENT = "intelligent"
+
+
+@dataclass(frozen=True)
+class SecuritySpan:
+    """A run of blacklisted bytes inside an object."""
+
+    offset: int
+    size: int
+    source: str  # "padding" (harvested) or "inserted"
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+@dataclass(frozen=True)
+class CaliformedLayout:
+    """A struct layout augmented with security-byte spans.
+
+    ``slots`` maps field names to their (possibly shifted) offsets; the
+    memory and runtime layers consume ``spans`` to drive ``CFORM``.
+    """
+
+    name: str
+    base: StructLayout
+    field_offsets: dict[str, int]
+    spans: tuple[SecuritySpan, ...]
+    size: int
+    align: int
+    policy: Policy | None
+
+    @property
+    def security_bytes(self) -> int:
+        return sum(span.size for span in self.spans)
+
+    @property
+    def memory_overhead_bytes(self) -> int:
+        """Bytes added over the natural layout."""
+        return self.size - self.base.size
+
+    @property
+    def data_byte_offsets(self) -> list[int]:
+        """Offsets within the object that are NOT security bytes."""
+        blacklisted = self.security_offsets_set()
+        return [o for o in range(self.size) if o not in blacklisted]
+
+    def security_offsets_set(self) -> set[int]:
+        out: set[int] = set()
+        for span in self.spans:
+            out.update(range(span.offset, span.end))
+        return out
+
+    def offset_of(self, field_name: str) -> int:
+        return self.field_offsets[field_name]
+
+    def field_size(self, field_name: str) -> int:
+        return self.base.struct.field(field_name).ctype.size
+
+
+def _validate_sizes(min_bytes: int, max_bytes: int) -> None:
+    if not 1 <= min_bytes <= max_bytes <= 7:
+        raise ConfigurationError(
+            "security-byte span sizes must satisfy 1 <= min <= max <= 7 "
+            f"(got [{min_bytes}, {max_bytes}]); the paper inserts 1-7 B spans"
+        )
+
+
+def opportunistic(layout: StructLayout) -> CaliformedLayout:
+    """Blacklist the existing padding bytes; never move a field."""
+    spans = tuple(
+        SecuritySpan(span.offset, span.size, "padding") for span in layout.paddings
+    )
+    return CaliformedLayout(
+        name=layout.name,
+        base=layout,
+        field_offsets={slot.name: slot.offset for slot in layout.slots},
+        spans=spans,
+        size=layout.size,
+        align=layout.align,
+        policy=Policy.OPPORTUNISTIC,
+    )
+
+
+def full(
+    layout: StructLayout,
+    rng: random.Random,
+    min_bytes: int = 1,
+    max_bytes: int = 7,
+) -> CaliformedLayout:
+    """Random-sized spans before, between and after every field."""
+    _validate_sizes(min_bytes, max_bytes)
+    draw = lambda: rng.randint(min_bytes, max_bytes)  # noqa: E731
+    return _rebuild(
+        layout,
+        before_first=draw(),
+        between=lambda previous_slot, next_slot: draw(),
+        after_last=draw(),
+        policy=Policy.FULL,
+    )
+
+
+def intelligent(
+    layout: StructLayout,
+    rng: random.Random,
+    min_bytes: int = 1,
+    max_bytes: int = 7,
+) -> CaliformedLayout:
+    """Random-sized spans around arrays and pointers only (Listing 1d)."""
+    _validate_sizes(min_bytes, max_bytes)
+    draw = lambda: rng.randint(min_bytes, max_bytes)  # noqa: E731
+
+    def between(previous_slot, next_slot) -> int:
+        if is_blacklist_target(previous_slot.ctype) or is_blacklist_target(
+            next_slot.ctype
+        ):
+            return draw()
+        return 0
+
+    slots = layout.slots
+    after_last = draw() if is_blacklist_target(slots[-1].ctype) else 0
+    return _rebuild(
+        layout,
+        before_first=0,
+        between=between,
+        after_last=after_last,
+        policy=Policy.INTELLIGENT,
+        harvest_padding=False,
+    )
+
+
+def fixed_full(layout: StructLayout, pad_bytes: int) -> CaliformedLayout:
+    """Fixed ``pad_bytes`` after every field — the Figure 4 sweep pass."""
+    if not 0 <= pad_bytes <= 7:
+        raise ConfigurationError("Figure 4 sweeps padding sizes 0..7")
+    if pad_bytes == 0:
+        return opportunistic(layout)
+    return _rebuild(
+        layout,
+        before_first=0,
+        between=lambda previous_slot, next_slot: pad_bytes,
+        after_last=pad_bytes,
+        policy=Policy.FULL,
+    )
+
+
+def apply_policy(
+    layout: StructLayout,
+    policy: Policy,
+    rng: random.Random,
+    min_bytes: int = 1,
+    max_bytes: int = 7,
+) -> CaliformedLayout:
+    """Dispatch on the policy enum."""
+    if policy is Policy.OPPORTUNISTIC:
+        return opportunistic(layout)
+    if policy is Policy.FULL:
+        return full(layout, rng, min_bytes, max_bytes)
+    return intelligent(layout, rng, min_bytes, max_bytes)
+
+
+def _rebuild(
+    layout: StructLayout,
+    before_first: int,
+    between,
+    after_last: int,
+    policy: Policy,
+    harvest_padding: bool = True,
+) -> CaliformedLayout:
+    """Re-lay the struct with security spans interleaved.
+
+    Inserted spans behave like ``char security_bytes[n]`` members
+    (Listing 1): alignment of the following field is restored with
+    ordinary padding, which is dead space and (when ``harvest_padding``)
+    becomes part of the protection.
+    """
+    struct: Struct = layout.struct
+    field_offsets: dict[str, int] = {}
+    spans: list[SecuritySpan] = []
+    cursor = 0
+
+    def add_span(size: int, source: str) -> None:
+        nonlocal cursor
+        if size > 0:
+            spans.append(SecuritySpan(cursor, size, source))
+            cursor += size
+
+    add_span(before_first, "inserted")
+    previous_slot = None
+    for slot in layout.slots:
+        if previous_slot is not None:
+            add_span(between(previous_slot, slot), "inserted")
+        aligned = align_up(cursor, slot.ctype.align)
+        if aligned > cursor and harvest_padding:
+            add_span(aligned - cursor, "padding")
+        cursor = aligned
+        field_offsets[slot.name] = cursor
+        cursor += slot.ctype.size
+        previous_slot = slot
+    add_span(after_last, "inserted")
+    total = align_up(cursor, struct.align)
+    if total > cursor and harvest_padding:
+        add_span(total - cursor, "padding")
+
+    merged = _merge_adjacent(spans)
+    return CaliformedLayout(
+        name=layout.name,
+        base=layout,
+        field_offsets=field_offsets,
+        spans=tuple(merged),
+        size=total,
+        align=struct.align,
+        policy=policy,
+    )
+
+
+def _merge_adjacent(spans: list[SecuritySpan]) -> list[SecuritySpan]:
+    """Coalesce touching spans (an inserted span may abut padding)."""
+    merged: list[SecuritySpan] = []
+    for span in sorted(spans, key=lambda s: s.offset):
+        if merged and merged[-1].end == span.offset:
+            last = merged[-1]
+            source = last.source if last.source == span.source else "inserted"
+            merged[-1] = SecuritySpan(last.offset, last.size + span.size, source)
+        else:
+            merged.append(span)
+    return merged

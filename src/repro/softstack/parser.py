@@ -1,0 +1,201 @@
+"""A small C struct-declaration parser.
+
+The paper's toolchain consumes C source; this parser lets the library do
+the same for the subset that matters to layout analysis — so users can
+paste real struct declarations into the Figure 3 census or the compiler
+pass instead of building :class:`Struct` objects by hand::
+
+    structs = parse_structs('''
+        struct A {
+            char c;
+            int i;
+            char buf[64];
+            void (*fp)();
+            double d;
+        };
+    ''')
+
+Supported: the standard scalar types (with ``unsigned``/``signed``),
+pointers (all flattened to ``void *`` for layout purposes), function
+pointers, (multi-dimensional) arrays, several declarators per line, and
+references to previously declared structs.  ``//`` and ``/* */`` comments
+are stripped.  Bit-fields are rejected explicitly — the paper excludes
+them from byte-granular protection (Section 7.2).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.exceptions import CaliformsError
+from repro.softstack.ctypes_model import (
+    BOOL,
+    CHAR,
+    CType,
+    DOUBLE,
+    FLOAT,
+    FUNCTION_POINTER,
+    Field,
+    INT,
+    LONG,
+    LONG_LONG,
+    POINTER,
+    SHORT,
+    SIGNED_CHAR,
+    Struct,
+    UNSIGNED_CHAR,
+    UNSIGNED_INT,
+    UNSIGNED_LONG,
+    UNSIGNED_SHORT,
+)
+
+
+class ParseError(CaliformsError):
+    """Malformed struct declaration text."""
+
+
+_SCALARS: dict[str, CType] = {
+    "char": CHAR,
+    "signed char": SIGNED_CHAR,
+    "unsigned char": UNSIGNED_CHAR,
+    "_Bool": BOOL,
+    "bool": BOOL,
+    "short": SHORT,
+    "short int": SHORT,
+    "unsigned short": UNSIGNED_SHORT,
+    "unsigned short int": UNSIGNED_SHORT,
+    "int": INT,
+    "signed": INT,
+    "signed int": INT,
+    "unsigned": UNSIGNED_INT,
+    "unsigned int": UNSIGNED_INT,
+    "long": LONG,
+    "long int": LONG,
+    "unsigned long": UNSIGNED_LONG,
+    "unsigned long int": UNSIGNED_LONG,
+    "long long": LONG_LONG,
+    "unsigned long long": UNSIGNED_LONG,
+    "float": FLOAT,
+    "double": DOUBLE,
+    "size_t": UNSIGNED_LONG,
+    "void": None,  # only valid as a pointer base
+}
+
+_COMMENT_RE = re.compile(r"/\*.*?\*/|//[^\n]*", re.S)
+_STRUCT_RE = re.compile(
+    r"struct\s+(?P<name>\w+)\s*\{(?P<body>[^{}]*)\}\s*;", re.S
+)
+_FUNCTION_POINTER_RE = re.compile(
+    r"^(?P<base>[\w\s]+?)\s*\(\s*\*\s*(?P<name>\w+)\s*\)\s*\([^)]*\)$"
+)
+_ARRAY_SUFFIX_RE = re.compile(r"\[\s*(\d+)\s*\]")
+
+
+def parse_structs(
+    source: str, known: dict[str, Struct] | None = None
+) -> list[Struct]:
+    """Parse every ``struct NAME { ... };`` in ``source``, in order.
+
+    ``known`` seeds the struct namespace for cross-references (and is
+    updated in place when provided).
+    """
+    namespace: dict[str, Struct] = dict(known) if known else {}
+    text = _COMMENT_RE.sub(" ", source)
+    structs: list[Struct] = []
+    matched_any = False
+    for match in _STRUCT_RE.finditer(text):
+        matched_any = True
+        name = match.group("name")
+        fields = _parse_body(match.group("body"), name, namespace)
+        struct = Struct(name, tuple(fields))
+        namespace[name] = struct
+        structs.append(struct)
+        if known is not None:
+            known[name] = struct
+    if not matched_any and text.strip():
+        raise ParseError("no struct declarations found")
+    return structs
+
+
+def parse_struct(source: str, known: dict[str, Struct] | None = None) -> Struct:
+    """Parse exactly one struct declaration."""
+    structs = parse_structs(source, known)
+    if len(structs) != 1:
+        raise ParseError(f"expected exactly one struct, found {len(structs)}")
+    return structs[0]
+
+
+def _parse_body(body: str, struct_name: str, namespace: dict[str, Struct]):
+    fields: list[Field] = []
+    for raw_line in body.split(";"):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if ":" in line:
+            raise ParseError(
+                f"struct {struct_name}: bit-fields are unsupported "
+                "(Califorms is byte-granular, Section 7.2)"
+            )
+        fields.extend(_parse_member(line, struct_name, namespace))
+    if not fields:
+        raise ParseError(f"struct {struct_name} has no members")
+    return fields
+
+
+def _parse_member(line: str, struct_name: str, namespace: dict[str, Struct]):
+    function_pointer = _FUNCTION_POINTER_RE.match(line)
+    if function_pointer:
+        yield Field(function_pointer.group("name"), FUNCTION_POINTER)
+        return
+
+    base_type, declarators = _split_type(line, struct_name, namespace)
+    for declarator in declarators.split(","):
+        declarator = declarator.strip()
+        if not declarator:
+            raise ParseError(f"struct {struct_name}: empty declarator in {line!r}")
+        yield _build_field(base_type, declarator, struct_name)
+
+
+def _split_type(line: str, struct_name: str, namespace: dict[str, Struct]):
+    """Split ``unsigned long *p, q[4]`` into (base type, declarator text)."""
+    tokens = line.split()
+    # struct reference: "struct NAME decl..."
+    if tokens[0] == "struct":
+        if len(tokens) < 3:
+            raise ParseError(f"struct {struct_name}: malformed member {line!r}")
+        target = tokens[1]
+        rest = " ".join(tokens[2:])
+        if rest.lstrip().startswith("*"):
+            return POINTER, rest.lstrip().lstrip("*").strip()
+        if target not in namespace:
+            raise ParseError(
+                f"struct {struct_name}: unknown struct {target!r} "
+                "(declare it first)"
+            )
+        return namespace[target], rest
+    # Longest scalar-type prefix match.
+    for take in range(min(len(tokens) - 1, 3), 0, -1):
+        candidate = " ".join(tokens[:take])
+        if candidate in _SCALARS:
+            return _SCALARS[candidate], " ".join(tokens[take:])
+    raise ParseError(f"struct {struct_name}: unknown type in {line!r}")
+
+
+def _build_field(base_type, declarator: str, struct_name: str) -> Field:
+    from repro.softstack.ctypes_model import Array
+
+    pointer_depth = 0
+    while declarator.startswith("*"):
+        pointer_depth += 1
+        declarator = declarator[1:].strip()
+    arrays = [int(n) for n in _ARRAY_SUFFIX_RE.findall(declarator)]
+    name = _ARRAY_SUFFIX_RE.sub("", declarator).strip()
+    if not re.fullmatch(r"\w+", name or ""):
+        raise ParseError(f"struct {struct_name}: bad declarator {declarator!r}")
+
+    ctype = POINTER if pointer_depth else base_type
+    if ctype is None:  # bare `void x;`
+        raise ParseError(f"struct {struct_name}: member {name!r} cannot be void")
+    for length in reversed(arrays):
+        ctype = Array(ctype, length)
+    return Field(name, ctype)

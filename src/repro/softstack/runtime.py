@@ -1,0 +1,241 @@
+"""Process runtime: the full-system view a califormed program runs in.
+
+Binds the pieces of Section 3 into one object:
+
+* the :class:`~repro.cpu.core.Cpu` and its memory hierarchy,
+* the compiler pass (insertion policy applied per struct),
+* the clean-before-use heap,
+* a dirty-before-use stack (Section 6.1),
+* whitelisted ``memcpy``/IO helpers (Section 6.3).
+
+This is the public API the examples and the security experiments program
+against: declare structs, allocate instances, read and write fields, and
+watch out-of-bounds or use-after-free accesses raise precise privileged
+exceptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import CaliformsError
+from repro.cpu.core import Cpu
+from repro.cpu.isa import load as load_instruction
+from repro.cpu.isa import store as store_instruction
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.softstack.allocator import Allocation, CaliformsHeap, HeapError
+from repro.softstack.compiler import (
+    CompilerConfig,
+    CompilerPass,
+    stack_frame_requests,
+)
+from repro.softstack.ctypes_model import Array, Struct
+from repro.softstack.insertion import CaliformedLayout, Policy
+
+
+@dataclass
+class ObjectHandle:
+    """A live, typed heap object."""
+
+    allocation: Allocation
+    layout: CaliformedLayout
+    alive: bool = True
+
+    @property
+    def address(self) -> int:
+        return self.allocation.address
+
+
+@dataclass
+class StackFrame:
+    """One active stack frame with its local objects."""
+
+    base: int
+    size: int
+    locals: dict[str, tuple[CaliformedLayout, int]]
+
+
+class Process:
+    """A simulated process running with Califorms protection."""
+
+    def __init__(
+        self,
+        policy: Policy = Policy.INTELLIGENT,
+        seed: int = 0,
+        min_bytes: int = 1,
+        max_bytes: int = 7,
+        heap_base: int = 0x100000,
+        heap_size: int = 1 << 18,
+        stack_base: int = 0x7F0000,
+        stack_size: int = 1 << 16,
+        hierarchy_config: HierarchyConfig | None = None,
+    ):
+        self.cpu = Cpu(MemoryHierarchy(hierarchy_config))
+        self.compiler = CompilerPass(
+            CompilerConfig(policy=policy, seed=seed, min_bytes=min_bytes,
+                           max_bytes=max_bytes)
+        )
+        self.heap = CaliformsHeap(
+            self.cpu.hierarchy, base=heap_base, size=heap_size
+        )
+        self._stack_base = stack_base
+        self._stack_limit = stack_base - stack_size
+        self._stack_pointer = stack_base
+        self._frames: list[StackFrame] = []
+        self._layout_cache: dict[str, CaliformedLayout] = {}
+
+    # -- type declarations -----------------------------------------------------
+
+    def declare(self, struct: Struct) -> CaliformedLayout:
+        """Register a struct; the insertion policy is applied once."""
+        layout = self.compiler.transform(struct)
+        self._layout_cache[struct.name] = layout
+        return layout
+
+    def layout_of(self, name: str) -> CaliformedLayout:
+        try:
+            return self._layout_cache[name]
+        except KeyError:
+            raise CaliformsError(f"struct {name!r} was never declared") from None
+
+    # -- heap objects ------------------------------------------------------------
+
+    def new(self, struct_or_name: Struct | str) -> ObjectHandle:
+        """Allocate one instance of a declared struct on the heap."""
+        if isinstance(struct_or_name, Struct):
+            if struct_or_name.name not in self._layout_cache:
+                self.declare(struct_or_name)
+            name = struct_or_name.name
+        else:
+            name = struct_or_name
+        layout = self.layout_of(name)
+        allocation = self.heap.malloc(layout)
+        return ObjectHandle(allocation, layout)
+
+    def delete(self, handle: ObjectHandle) -> None:
+        """Free a heap object (enters quarantine, data re-blacklisted)."""
+        if not handle.alive:
+            raise HeapError("double free detected by runtime handle")
+        self.heap.free(handle.allocation)
+        handle.alive = False
+
+    # -- typed accesses -------------------------------------------------------------
+
+    def field_address(self, handle: ObjectHandle, field_name: str, index: int = 0) -> int:
+        """Absolute address of a field (optionally an array element)."""
+        layout = handle.layout
+        offset = layout.offset_of(field_name)
+        ctype = layout.base.struct.field(field_name).ctype
+        if index:
+            if not isinstance(ctype, Array):
+                raise CaliformsError(f"{field_name} is not an array")
+            offset += index * ctype.element.size
+        return handle.address + offset
+
+    def write_field(
+        self, handle: ObjectHandle, field_name: str, data: bytes, index: int = 0
+    ) -> None:
+        """Store ``data`` into a field through the CPU (checked access)."""
+        address = self.field_address(handle, field_name, index)
+        self.cpu.execute(store_instruction(address, data))
+
+    def read_field(
+        self, handle: ObjectHandle, field_name: str, size: int | None = None,
+        index: int = 0,
+    ) -> bytes:
+        """Load a field through the CPU (checked access)."""
+        address = self.field_address(handle, field_name, index)
+        if size is None:
+            ctype = handle.layout.base.struct.field(field_name).ctype
+            size = ctype.element.size if (isinstance(ctype, Array) and index) else ctype.size
+        return self.cpu.execute(load_instruction(address, size))
+
+    # -- raw accesses (what an attacker's arbitrary read/write uses) -----------------
+
+    def raw_read(self, address: int, size: int) -> bytes:
+        return self.cpu.execute(load_instruction(address, size))
+
+    def raw_write(self, address: int, data: bytes) -> None:
+        self.cpu.execute(store_instruction(address, data))
+
+    # -- stack frames (dirty-before-use) -----------------------------------------------
+
+    def push_frame(self, locals_spec: dict[str, Struct | str]) -> StackFrame:
+        """Enter a frame with the given local objects.
+
+        Stack memory starts regular; entering the frame *sets* each
+        local's security spans (dirty-before-use, Section 6.1).
+        """
+        placed: dict[str, tuple[CaliformedLayout, int]] = {}
+        cursor = self._stack_pointer
+        for local_name, struct_or_name in locals_spec.items():
+            if isinstance(struct_or_name, Struct):
+                if struct_or_name.name not in self._layout_cache:
+                    self.declare(struct_or_name)
+                layout = self.layout_of(struct_or_name.name)
+            else:
+                layout = self.layout_of(struct_or_name)
+            cursor -= layout.size
+            cursor -= cursor % layout.align  # align downward
+            placed[local_name] = (layout, cursor)
+        if cursor < self._stack_limit:
+            raise CaliformsError("simulated stack overflow")
+        frame = StackFrame(
+            base=cursor, size=self._stack_pointer - cursor, locals=placed
+        )
+        for request in stack_frame_requests(
+            list(placed.values()), entering=True
+        ):
+            self.cpu.hierarchy.cform(request)
+            self.heap.stats.cform_instructions += 1
+        self._frames.append(frame)
+        self._stack_pointer = cursor
+        return frame
+
+    def pop_frame(self) -> None:
+        """Leave the top frame, unsetting its locals' security spans."""
+        if not self._frames:
+            raise CaliformsError("no frame to pop")
+        frame = self._frames.pop()
+        for request in stack_frame_requests(
+            list(frame.locals.values()), entering=False
+        ):
+            self.cpu.hierarchy.cform(request)
+            self.heap.stats.cform_instructions += 1
+        self._stack_pointer = frame.base + frame.size
+
+    def local_address(self, frame: StackFrame, local_name: str, field_name: str) -> int:
+        layout, base = frame.locals[local_name]
+        return base + layout.offset_of(field_name)
+
+    # -- whitelisted library operations (Section 6.3) ------------------------------------
+
+    def memcpy(self, destination: int, source: int, length: int) -> None:
+        """A struct-to-struct copy as libc would do it: whitelisted.
+
+        Security bytes read as zero and are skipped on the write side, so
+        the copy neither faults nor disturbs the destination's blacklist.
+        """
+        with self.cpu.whitelisted():
+            data, _ = self.cpu.hierarchy.load(source, length)
+            for offset in range(length):
+                address = destination + offset
+                line_mask = self.cpu.hierarchy.secmask_of(address & ~63)
+                if (line_mask >> (address & 63)) & 1:
+                    continue  # do not overwrite a security byte
+                self.cpu.hierarchy.store(address, data[offset : offset + 1])
+
+    def io_write(self, address: int, length: int) -> bytes:
+        """Read a buffer for I/O: the un-califorming boundary (Section 3).
+
+        Returns the bytes as the other side of a pipe/socket would see
+        them — security bytes materialise as zeros, no exception.
+        """
+        with self.cpu.whitelisted():
+            data, _ = self.cpu.hierarchy.load(address, length)
+        return data
+
+    # -- statistics ------------------------------------------------------------------------
+
+    def cform_instruction_count(self) -> int:
+        return self.heap.stats.cform_instructions

@@ -1,0 +1,51 @@
+"""Synthetic SPEC CPU2006-like workloads and struct corpora.
+
+* :mod:`repro.workloads.specs` — per-benchmark behavioural profiles.
+* :mod:`repro.workloads.generator` — trace synthesis + cache timing runs.
+* :mod:`repro.workloads.structs_corpus` — the Figure 3 census corpora and
+  the heap type pool the traces allocate from.
+"""
+
+from repro.workloads.generator import (
+    RunResult,
+    Scenario,
+    build_type_catalog,
+    run_trace,
+    slowdown,
+)
+from repro.workloads.specs import (
+    FIG10_BENCHMARKS,
+    FIG11_BENCHMARKS,
+    SPEC_PROFILES,
+    BenchmarkProfile,
+    profile,
+)
+from repro.workloads.structs_corpus import (
+    HEAP_TYPE_POOL,
+    SPEC_PROFILE,
+    V8_PROFILE,
+    CorpusProfile,
+    generate_corpus,
+    spec_corpus,
+    v8_corpus,
+)
+
+__all__ = [
+    "Scenario",
+    "RunResult",
+    "run_trace",
+    "slowdown",
+    "build_type_catalog",
+    "BenchmarkProfile",
+    "SPEC_PROFILES",
+    "FIG10_BENCHMARKS",
+    "FIG11_BENCHMARKS",
+    "profile",
+    "CorpusProfile",
+    "SPEC_PROFILE",
+    "V8_PROFILE",
+    "spec_corpus",
+    "v8_corpus",
+    "generate_corpus",
+    "HEAP_TYPE_POOL",
+]

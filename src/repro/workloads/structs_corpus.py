@@ -1,0 +1,275 @@
+"""Struct corpora for the Figure 3 density census.
+
+The paper runs a compiler pass over SPEC CPU2006 and the V8 JavaScript
+engine, reporting that 45.7 % (SPEC) and 41.0 % (V8) of structs carry at
+least one byte of alignment padding.  We have neither codebase's source
+offline, so this module provides (DESIGN.md substitution 5):
+
+* a **hand-written corpus** of struct shapes that actually occur in C
+  programs of each flavour (list nodes, hash entries, tokens, headers,
+  state blocks for SPEC; tagged values, hidden-class style objects and
+  handles for V8), and
+* a **seeded generator** that extends each corpus with random structs
+  drawn from flavour-specific field-type distributions, calibrated so the
+  padded fraction lands near the paper's numbers.
+
+What the downstream experiment preserves is the *census shape*: the
+fraction of padded structs and the density histogram of Figure 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.softstack.ctypes_model import (
+    BOOL,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    FUNCTION_POINTER,
+    INT,
+    LONG,
+    POINTER,
+    SHORT,
+    UNSIGNED_CHAR,
+    UNSIGNED_INT,
+    UNSIGNED_SHORT,
+    Array,
+    CType,
+    Field,
+    Struct,
+)
+
+# -- hand-written, domain-flavoured shapes ------------------------------------
+
+
+def _s(name: str, *members: tuple[str, CType]) -> Struct:
+    return Struct(name, tuple(Field(n, t) for n, t in members))
+
+
+#: Struct shapes typical of the SPEC CPU2006 C/C++ code bases.
+SPEC_HANDWRITTEN: list[Struct] = [
+    _s("list_node", ("next", POINTER), ("prev", POINTER), ("value", INT)),
+    _s("hash_entry", ("key", POINTER), ("hash", UNSIGNED_INT), ("chain", POINTER)),
+    _s("token", ("kind", CHAR), ("flags", CHAR), ("position", INT), ("text", POINTER)),
+    _s("arc", ("cost", LONG), ("tail", POINTER), ("head", POINTER),
+       ("flow", LONG), ("ident", SHORT)),
+    _s("node_t", ("potential", LONG), ("orientation", INT), ("child", POINTER),
+       ("pred", POINTER), ("sibling", POINTER), ("basic_arc", POINTER),
+       ("firstout", POINTER), ("firstin", POINTER), ("arc_tmp", POINTER),
+       ("depth", INT), ("number", INT), ("time", INT)),
+    _s("move_record", ("from_sq", CHAR), ("to_sq", CHAR), ("piece", CHAR),
+       ("score", INT)),
+    _s("board_state", ("squares", Array(CHAR, 64)), ("to_move", CHAR),
+       ("castling", UNSIGNED_CHAR), ("ep_square", CHAR), ("hash", LONG)),
+    _s("macroblock", ("mb_type", SHORT), ("qp", SHORT), ("cbp", INT),
+       ("mvd", Array(SHORT, 16)), ("intra_pred_modes", Array(CHAR, 16))),
+    _s("pixel_block", ("luma", Array(UNSIGNED_CHAR, 16)), ("stride", INT)),
+    _s("hmm_state", ("transitions", Array(FLOAT, 4)), ("emission", POINTER),
+       ("id", SHORT)),
+    _s("lattice_site", ("field", Array(DOUBLE, 4)), ("parity", CHAR)),
+    _s("grid_cell", ("velocity", Array(DOUBLE, 3)), ("density", DOUBLE),
+       ("flags", UNSIGNED_CHAR)),
+    _s("quantum_reg", ("width", INT), ("size", INT), ("hashw", INT),
+       ("amplitudes", POINTER), ("hash", POINTER)),
+    _s("search_node", ("f_cost", FLOAT), ("g_cost", FLOAT), ("parent", POINTER),
+       ("state", POINTER), ("open", BOOL)),
+    _s("bz_stream_state", ("next_in", POINTER), ("avail_in", UNSIGNED_INT),
+       ("next_out", POINTER), ("avail_out", UNSIGNED_INT),
+       ("state", POINTER), ("small", CHAR)),
+    _s("perl_sv", ("any", POINTER), ("refcnt", UNSIGNED_INT),
+       ("flags", UNSIGNED_INT)),
+    _s("perl_hek", ("hash", UNSIGNED_INT), ("len", INT), ("key", Array(CHAR, 1))),
+    _s("regexp_node", ("type", UNSIGNED_CHAR), ("flags", UNSIGNED_CHAR),
+       ("next_off", UNSIGNED_SHORT), ("args", Array(INT, 1))),
+    _s("ray", ("origin", Array(DOUBLE, 3)), ("direction", Array(DOUBLE, 3)),
+       ("depth", INT)),
+    _s("texture", ("type", SHORT), ("flags", UNSIGNED_SHORT),
+       ("colour_map", POINTER), ("image", POINTER), ("gamma", FLOAT)),
+    _s("simplex_row", ("index", INT), ("values", POINTER), ("nnz", INT),
+       ("scale", DOUBLE)),
+    _s("am_feature", ("frame", INT), ("score", FLOAT), ("active", BOOL)),
+    _s("xml_attr", ("name", POINTER), ("value", POINTER), ("next", POINTER)),
+    _s("xml_element", ("tag", POINTER), ("attrs", POINTER),
+       ("n_children", SHORT), ("children", POINTER), ("parent", POINTER)),
+    _s("go_group", ("stones", SHORT), ("liberties", SHORT), ("origin", INT),
+       ("colour", CHAR)),
+    _s("event_msg", ("kind", INT), ("priority", CHAR), ("payload", POINTER),
+       ("timestamp", DOUBLE)),
+    _s("fe_element", ("nodes", Array(INT, 8)), ("material", SHORT),
+       ("jacobian", DOUBLE)),
+    _s("atom", ("position", Array(DOUBLE, 3)), ("charge", FLOAT),
+       ("type_id", SHORT)),
+    _s("packed_coords", ("x", INT), ("y", INT)),  # dense on purpose
+    _s("dense_pair", ("a", LONG), ("b", LONG)),
+    _s("dense_vec3", ("v", Array(DOUBLE, 3))),
+    _s("dense_counters", ("hits", LONG), ("misses", LONG), ("total", LONG)),
+    # Larger scalar-only state blocks (solver/codec/simulation state): the
+    # pointer-free side of real heaps is not all 16-byte records.
+    _s("stats_block", *[(f"s{i}", LONG) for i in range(12)]),
+    _s("matrix4", *[(f"m{i}{j}", DOUBLE) for i in range(4) for j in range(4)]),
+    _s("config_block",
+       *[(f"opt{i}", INT) for i in range(20)],
+       *[(f"threshold{i}", DOUBLE) for i in range(4)]),
+    _s("accumulator_bank", *[(f"acc{i}", LONG) for i in range(16)]),
+    _s("profile_counters", *[(f"evt{i}", LONG) for i in range(24)]),
+    _s("filter_state",
+       ("gain", DOUBLE), ("phase", DOUBLE),
+       *[(f"tap{i}", FLOAT) for i in range(24)],
+       ("order", INT), ("warmup", INT)),
+]
+
+#: Struct/class shapes typical of the V8 JavaScript engine (pointer-rich,
+#: tagged-value heavy, mostly word-aligned hence somewhat denser).
+V8_HANDWRITTEN: list[Struct] = [
+    _s("js_object_header", ("map", POINTER), ("properties", POINTER),
+       ("elements", POINTER)),
+    _s("heap_number", ("map", POINTER), ("value", DOUBLE)),
+    _s("js_string", ("map", POINTER), ("hash", UNSIGNED_INT),
+       ("length", UNSIGNED_INT), ("payload", POINTER)),
+    _s("code_entry", ("instruction_start", POINTER), ("size", INT),
+       ("kind", UNSIGNED_CHAR), ("reloc", POINTER)),
+    _s("scope_info", ("flags", INT), ("parameter_count", SHORT),
+       ("stack_local_count", SHORT), ("context_local_count", INT)),
+    _s("handle_scope", ("next", POINTER), ("limit", POINTER), ("level", INT)),
+    _s("isolate_counters", ("gc_count", LONG), ("alloc_bytes", LONG),
+       ("in_gc", BOOL)),
+    _s("descriptor", ("key", POINTER), ("value", POINTER),
+       ("details", UNSIGNED_INT)),
+    _s("transition_entry", ("name", POINTER), ("target", POINTER)),
+    _s("bytecode_node", ("opcode", UNSIGNED_CHAR), ("operand_count", CHAR),
+       ("operands", Array(UNSIGNED_INT, 3)), ("source_pos", INT)),
+    _s("ast_literal", ("tag", CHAR), ("as_number", DOUBLE), ("as_ref", POINTER)),
+    _s("compilation_unit", ("source", POINTER), ("length", INT),
+       ("is_module", BOOL), ("shared", POINTER), ("vector", POINTER)),
+    _s("ic_slot", ("handler", POINTER), ("state", UNSIGNED_CHAR)),
+    _s("gc_page", ("start", POINTER), ("live_bytes", UNSIGNED_INT),
+       ("flags", UNSIGNED_INT), ("freelist", POINTER)),
+    _s("weak_cell", ("target", POINTER), ("next", POINTER)),
+    _s("stack_frame_info", ("pc", POINTER), ("fp", POINTER), ("sp", POINTER),
+       ("type", CHAR)),
+    _s("dense_double_pair", ("low", DOUBLE), ("high", DOUBLE)),
+    _s("dense_ptr_pair", ("first", POINTER), ("second", POINTER)),
+    _s("dense_small_key", ("k", UNSIGNED_INT), ("v", UNSIGNED_INT)),
+    _s("callback_info", ("callback", FUNCTION_POINTER), ("data", POINTER),
+       ("enabled", BOOL)),
+]
+
+
+# -- seeded generator ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CorpusProfile:
+    """Field-type weights and shape parameters for one code-base flavour.
+
+    ``type_weights`` pairs candidate field types with sampling weights;
+    the mix of 1/2-byte types against 4/8-byte types is what controls the
+    padded fraction, which is the calibration target.
+    """
+
+    name: str
+    type_weights: tuple[tuple[CType, float], ...]
+    min_fields: int = 1
+    max_fields: int = 10
+    array_probability: float = 0.12
+    max_array_length: int = 32
+    #: Probability a struct uses a single field type throughout (config
+    #: blocks, coordinate records, counter blocks, ...) — such structs are
+    #: dense, and their prevalence is what calibrates the padded fraction.
+    uniform_probability: float = 0.33
+    #: Probability a mixed struct was hand-ordered by decreasing alignment
+    #: (a common C optimisation) — removes interior padding, can leave a
+    #: dense struct when sizes work out.
+    sorted_probability: float = 0.25
+
+
+SPEC_PROFILE = CorpusProfile(
+    name="spec2006",
+    uniform_probability=0.50,  # calibrated: padded fraction ~= 45.7 %
+    type_weights=(
+        (CHAR, 1.6),
+        (UNSIGNED_CHAR, 0.7),
+        (BOOL, 0.4),
+        (SHORT, 0.9),
+        (UNSIGNED_SHORT, 0.5),
+        (INT, 3.2),
+        (UNSIGNED_INT, 1.4),
+        (LONG, 1.2),
+        (FLOAT, 0.9),
+        (DOUBLE, 1.3),
+        (POINTER, 2.8),
+        (FUNCTION_POINTER, 0.3),
+    ),
+)
+
+V8_PROFILE = CorpusProfile(
+    name="v8",
+    uniform_probability=0.44,  # calibrated: padded fraction ~= 41.0 %
+    type_weights=(
+        (CHAR, 0.7),
+        (UNSIGNED_CHAR, 0.5),
+        (BOOL, 0.7),
+        (SHORT, 0.5),
+        (UNSIGNED_SHORT, 0.3),
+        (INT, 2.4),
+        (UNSIGNED_INT, 1.6),
+        (LONG, 1.0),
+        (FLOAT, 0.3),
+        (DOUBLE, 1.2),
+        (POINTER, 5.5),
+        (FUNCTION_POINTER, 0.6),
+    ),
+    array_probability=0.08,
+    max_array_length=16,
+)
+
+
+def generate_struct(profile: CorpusProfile, rng: random.Random, index: int) -> Struct:
+    """Draw one random struct from a profile."""
+    field_count = rng.randint(profile.min_fields, profile.max_fields)
+    types = [t for t, _ in profile.type_weights]
+    weights = [w for _, w in profile.type_weights]
+
+    if rng.random() < profile.uniform_probability:
+        base: CType = rng.choices(types, weights)[0]
+        field_types: list[CType] = [base] * field_count
+    else:
+        field_types = [rng.choices(types, weights)[0] for _ in range(field_count)]
+        if rng.random() < profile.sorted_probability:
+            field_types.sort(key=lambda t: (t.align, t.size), reverse=True)
+
+    members = []
+    for position, ctype in enumerate(field_types):
+        if rng.random() < profile.array_probability:
+            ctype = Array(ctype, rng.randint(2, profile.max_array_length))
+        members.append(Field(f"f{position}", ctype))
+    return Struct(f"{profile.name}_gen{index}", tuple(members))
+
+
+def generate_corpus(
+    profile: CorpusProfile, count: int, seed: int = 0
+) -> list[Struct]:
+    """Generate ``count`` random structs, deterministic per seed."""
+    rng = random.Random(f"{profile.name}:{seed}")
+    return [generate_struct(profile, rng, index) for index in range(count)]
+
+
+def spec_corpus(generated: int = 400, seed: int = 0) -> list[Struct]:
+    """The SPEC-flavoured census corpus (hand-written + generated)."""
+    return SPEC_HANDWRITTEN + generate_corpus(SPEC_PROFILE, generated, seed)
+
+
+def v8_corpus(generated: int = 400, seed: int = 0) -> list[Struct]:
+    """The V8-flavoured census corpus (hand-written + generated)."""
+    return V8_HANDWRITTEN + generate_corpus(V8_PROFILE, generated, seed)
+
+
+#: The allocation-facing subset used by the trace generators: structs a
+#: program plausibly allocates in volume.
+HEAP_TYPE_POOL: list[Struct] = [
+    s
+    for s in SPEC_HANDWRITTEN
+    if s.size <= 512
+]

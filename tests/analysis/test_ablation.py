@@ -1,0 +1,55 @@
+"""Tests for the ablation studies."""
+
+from repro.analysis.ablation import (
+    cform_mode_ablation,
+    metadata_format_ablation,
+    quarantine_ablation,
+    render_all,
+    span_range_ablation,
+)
+
+
+class TestQuarantine:
+    def test_deeper_quarantine_never_hurts_detection(self):
+        points = quarantine_ablation(fractions=(0.0, 0.6))
+        assert points[1].detection_rate >= points[0].detection_rate
+
+    def test_rates_are_probabilities(self):
+        for point in quarantine_ablation():
+            assert 0.0 <= point.detection_rate <= 1.0
+
+
+class TestCformMode:
+    def test_non_temporal_pollutes_less(self):
+        results = {r.mode: r.application_l1_misses for r in cform_mode_ablation()}
+        assert results["non-temporal"] <= results["temporal"]
+        assert results["temporal"] > 0  # the pollution is real
+
+
+class TestMetadataFormat:
+    def test_sentinel_is_64x_denser(self):
+        rows = {row.format: row for row in metadata_format_ablation()}
+        sentinel = rows["califorms-sentinel"]
+        bitvector = rows["bitvector everywhere"]
+        assert bitvector.bits_per_line == 64 * sentinel.bits_per_line
+        assert sentinel.l2_overhead_pct < 0.3  # the paper's ~0.2 %
+        assert bitvector.l2_overhead_pct == 12.5  # the paper's 12.5 %
+
+
+class TestSpanRange:
+    def test_wider_ranges_cost_more_memory(self):
+        points = span_range_ablation()
+        overheads = [p.average_memory_overhead_pct for p in points]
+        assert overheads == sorted(overheads)
+
+    def test_entropy_grows(self):
+        points = span_range_ablation()
+        entropies = [p.average_entropy_bits_per_span for p in points]
+        assert entropies[0] == 0.0  # fixed 1-byte spans are predictable
+        assert entropies[-1] > 2.5  # 1-7B ~ log2(7) bits
+
+
+def test_render_all():
+    text = render_all()
+    for heading in ("quarantine", "CFORM flavour", "metadata format", "span range"):
+        assert heading in text

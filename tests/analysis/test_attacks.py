@@ -1,0 +1,93 @@
+"""Tests for the cross-scheme attack simulator (the measured Table 4)."""
+
+import pytest
+
+from repro.analysis.attacks import (
+    ATTACK_NAMES,
+    detection_matrix,
+    render_matrix,
+    run_attack_suite,
+)
+from repro.baselines.califorms_model import CaliformsModel
+from repro.baselines.comparison import implemented_models
+from repro.baselines.tripwires import CanaryModel, RestModel
+from repro.baselines.whitelisting import AdiModel, MpxModel
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return detection_matrix(implemented_models())
+
+
+class TestCaliformsCoverage:
+    def test_califorms_detects_everything(self, matrix):
+        row = matrix["Califorms"]
+        for attack in ATTACK_NAMES:
+            assert row[attack], f"Califorms missed {attack}"
+
+    def test_full_suite_detection_rate(self):
+        report = run_attack_suite(CaliformsModel())
+        assert report.detection_rate == 1.0
+
+
+class TestBaselineGaps:
+    """Each baseline's blind spots, as Table 4 tabulates them."""
+
+    def test_rest_misses_intra_object(self, matrix):
+        assert not matrix["REST"]["intra_overflow"]
+        assert matrix["REST"]["adjacent_overflow"]
+        assert matrix["REST"]["use_after_free"]
+
+    def test_canary_misses_overreads_and_temporal(self, matrix):
+        row = matrix["Canaries (software)"]
+        assert not row["adjacent_overread"]
+        assert not row["use_after_free"]
+        assert not row["intra_overflow"]
+
+    def test_mpx_misses_temporal_and_intra(self, matrix):
+        row = matrix["Intel MPX"]
+        assert row["adjacent_overflow"]
+        assert row["jump_overflow"]  # bounds catch arbitrary distance
+        assert not row["use_after_free"]
+        assert not row["intra_overflow"]  # no bounds narrowing deployed
+
+    def test_adi_misses_intra_object(self, matrix):
+        row = matrix["SPARC ADI"]
+        assert not row["intra_overflow"]
+        assert row["use_after_free"]
+
+    def test_jump_overflow_defeats_fixed_tripwires(self, matrix):
+        # A large jump clears fixed guards: canaries and SafeMem's guard
+        # lines miss it; the blacklisted-arena schemes still catch it.
+        assert not matrix["Canaries (software)"]["jump_overflow"]
+        assert not matrix["SafeMem"]["jump_overflow"]
+        assert matrix["Califorms"]["jump_overflow"]
+
+    def test_rest_jump_over_lone_token(self):
+        # Against a lone object with a small token, the jump escapes.
+        model = RestModel(token_size=8)
+        allocation = model.on_alloc(0x100000, 96)
+        assert model.check_access(allocation, 0x100000 + 96 + 64, 8, True) is None
+
+    def test_califorms_beats_every_baseline(self, matrix):
+        califorms_score = sum(matrix["Califorms"].values())
+        for scheme, row in matrix.items():
+            if scheme == "Califorms":
+                continue
+            assert sum(row.values()) < califorms_score, scheme
+
+
+class TestHarness:
+    def test_all_attacks_run(self, matrix):
+        for row in matrix.values():
+            assert set(row) == set(ATTACK_NAMES)
+
+    def test_render(self, matrix):
+        text = render_matrix(matrix)
+        assert "intra_overflow" in text
+        assert "DETECT" in text
+
+    def test_deterministic(self):
+        a = detection_matrix([MpxModel(), AdiModel(), CanaryModel()], seed=7)
+        b = detection_matrix([MpxModel(), AdiModel(), CanaryModel()], seed=7)
+        assert a == b

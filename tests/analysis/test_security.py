@@ -1,0 +1,85 @@
+"""Tests for the Section 7.3 derandomization analytics."""
+
+import math
+
+import pytest
+
+from repro.analysis.security import (
+    guess_success_probability,
+    objects_for_target_probability,
+    paper_headline_numbers,
+    scan_success_probability,
+    simulate_guess_attack,
+    simulate_scan_attack,
+)
+from repro.softstack.ctypes_model import LISTING_1_STRUCT_A
+
+
+class TestScanFormula:
+    def test_paper_claim_O250(self):
+        # "With 10% padding, when O reaches 250, the attack success goes
+        # to 1e-20."
+        assert scan_success_probability(0.10, 250) < 1e-11
+        assert objects_for_target_probability(0.10, 1e-20) <= 450
+
+    def test_zero_objects_always_succeeds(self):
+        assert scan_success_probability(0.10, 0) == 1.0
+
+    def test_monotone_in_objects(self):
+        values = [scan_success_probability(0.1, o) for o in (1, 10, 100)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_in_padding(self):
+        assert scan_success_probability(0.2, 50) < scan_success_probability(0.1, 50)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scan_success_probability(1.5, 10)
+        with pytest.raises(ValueError):
+            scan_success_probability(0.1, -1)
+        with pytest.raises(ValueError):
+            objects_for_target_probability(0.1, 2.0)
+
+
+class TestGuessFormula:
+    def test_single_span(self):
+        assert guess_success_probability(1) == pytest.approx(1 / 7)
+
+    def test_compounding(self):
+        assert guess_success_probability(3) == pytest.approx(1 / 343)
+
+    def test_zero_spans_trivial(self):
+        assert guess_success_probability(0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            guess_success_probability(-1)
+
+
+class TestMonteCarloAgreement:
+    def test_scan_simulation_matches_formula_order(self):
+        result = simulate_scan_attack(
+            LISTING_1_STRUCT_A, objects=4, trials=400, seed=1
+        )
+        # Probe of 8 bytes against a ~1/4-blacklisted layout: each object
+        # catches with substantial probability; with four objects the
+        # attack should fail most of the time but not always.
+        assert 0.0 <= result.success_rate < 0.6
+
+    def test_scan_success_decays_with_objects(self):
+        few = simulate_scan_attack(LISTING_1_STRUCT_A, objects=1, trials=300, seed=2)
+        many = simulate_scan_attack(LISTING_1_STRUCT_A, objects=16, trials=300, seed=2)
+        assert many.success_rate <= few.success_rate
+
+    def test_guess_simulation_matches_formula(self):
+        result = simulate_guess_attack(LISTING_1_STRUCT_A, trials=20_000, seed=3)
+        # Listing 1's struct gets 6 inserted spans under the full policy:
+        # expected success 7^-6 ~ 8.5e-6; allow generous Monte-Carlo slack.
+        expected = guess_success_probability(6)
+        assert result.success_rate <= expected * 50 + 1e-3
+
+    def test_headline_numbers(self):
+        numbers = paper_headline_numbers()
+        assert numbers["scan_success_at_O250_P10pct"] < 1e-11
+        assert numbers["guess_success_3_spans"] == pytest.approx(1 / 343)
+        assert math.isfinite(numbers["objects_needed_for_1e-20"])

@@ -1,0 +1,56 @@
+"""Tests for the suite-level timing sweep machinery."""
+
+import pytest
+
+from repro.analysis.suite import BenchmarkSlowdown, render_suite, sweep
+from repro.memory.hierarchy import WESTMERE
+from repro.softstack.insertion import Policy
+from repro.workloads.generator import Scenario
+
+SMALL = ["hmmer", "sjeng"]  # fast benchmarks for unit testing
+QUICK = 20_000
+
+
+class TestBenchmarkSlowdown:
+    def test_from_samples(self):
+        entry = BenchmarkSlowdown.from_samples("x", [0.01, 0.03])
+        assert entry.mean == pytest.approx(0.02)
+        assert entry.minimum == 0.01
+        assert entry.maximum == 0.03
+
+
+class TestSweep:
+    def test_average_and_lookup(self):
+        result = sweep(SMALL, Scenario(policy=Policy.OPPORTUNISTIC),
+                       instructions=QUICK)
+        assert len(result.per_benchmark) == 2
+        assert result.benchmark("hmmer").benchmark == "hmmer"
+        with pytest.raises(KeyError):
+            result.benchmark("quake")
+
+    def test_multiple_binary_seeds_spread(self):
+        result = sweep(
+            ["gobmk"],
+            Scenario(policy=Policy.FULL),
+            instructions=QUICK,
+            binary_seeds=(0, 1, 2),
+        )
+        entry = result.benchmark("gobmk")
+        assert entry.minimum <= entry.mean <= entry.maximum
+
+    def test_variant_config_applies(self):
+        result = sweep(
+            SMALL,
+            Scenario.baseline(),
+            instructions=QUICK,
+            variant_config=WESTMERE.with_extra_latency(1),
+            label="fig10",
+        )
+        assert result.label == "fig10"
+        assert all(entry.mean > 0 for entry in result.per_benchmark)
+
+    def test_render(self):
+        result = sweep(SMALL, Scenario(policy=Policy.INTELLIGENT),
+                       instructions=QUICK)
+        text = render_suite(result)
+        assert "hmmer" in text and "AVG" in text

@@ -1,0 +1,122 @@
+"""Tests for the structural VLSI model against the Table 2/7 shape."""
+
+import pytest
+
+from repro.analysis.vlsi import (
+    Block,
+    baseline_l1,
+    califorms_1b_l1,
+    califorms_4b_l1,
+    califorms_8b_l1,
+    fill_cost,
+    fill_module,
+    spill_cost,
+    spill_module,
+    table2_rows,
+    table7_rows,
+)
+
+
+class TestBlockAlgebra:
+    def test_serial_composition(self):
+        combined = Block("a", 10, 2) + Block("b", 20, 3)
+        assert combined.gates == 30
+        assert combined.depth == 5
+
+    def test_parallel_composition(self):
+        combined = Block("a", 10, 2).parallel(Block("b", 20, 3))
+        assert combined.gates == 30
+        assert combined.depth == 3
+
+    def test_delay_scales_with_depth(self):
+        assert Block("x", 1, 10).delay_ns == pytest.approx(
+            2 * Block("x", 1, 5).delay_ns
+        )
+
+
+class TestTable2Shape:
+    """The relationships Table 2 demonstrates (tolerances are generous —
+    we model structure, not a foundry library)."""
+
+    def test_baseline_anchor(self):
+        base = baseline_l1()
+        assert base.delay_ns == 1.62
+        assert base.power_mw == 15.84
+        assert base.area_ge == pytest.approx(347_329, rel=0.05)
+
+    def test_main_design_overheads_near_paper(self):
+        area, delay, power = califorms_8b_l1().overhead_vs(baseline_l1())
+        assert area == pytest.approx(18.69, abs=2.0)  # paper 18.69 %
+        assert delay == pytest.approx(1.85, abs=1.0)  # paper 1.85 %
+        assert power == pytest.approx(2.12, abs=1.0)  # paper 2.12 %
+
+    def test_fill_fits_within_l1_access(self):
+        # "The latency impact of the fill operation is within the access
+        # period of the L1 design."
+        assert fill_cost("8B").delay_ns < baseline_l1().delay_ns
+
+    def test_spill_slower_than_fill(self):
+        # 5.50 ns vs 1.43 ns in the paper.
+        assert spill_cost("8B").delay_ns > 2 * fill_cost("8B").delay_ns
+
+    def test_module_magnitudes(self):
+        assert fill_cost("8B").area_ge == pytest.approx(8_957, rel=0.25)
+        assert spill_cost("8B").area_ge == pytest.approx(34_561, rel=0.25)
+        assert spill_cost("8B").delay_ns == pytest.approx(5.50, abs=0.6)
+        assert fill_cost("8B").delay_ns == pytest.approx(1.43, abs=0.4)
+
+    def test_rows_render(self):
+        rows = table2_rows()
+        assert rows[0]["design"] == "Baseline"
+        assert "area_overhead_pct" in rows[1]
+
+
+class TestTable7Shape:
+    def test_area_ranking(self):
+        # Storage: 8B (12.5 %) > 4B (6.25 %) > 1B (1.56 %) per line.
+        base = baseline_l1()
+        a8 = califorms_8b_l1().overhead_vs(base)[0]
+        a4 = califorms_4b_l1().overhead_vs(base)[0]
+        a1 = califorms_1b_l1().overhead_vs(base)[0]
+        assert a8 > a4 > a1 > 0
+
+    def test_delay_ranking_inverts(self):
+        # The denser formats pay with hit latency: 4B worst, 8B best.
+        base = baseline_l1()
+        d8 = califorms_8b_l1().overhead_vs(base)[1]
+        d4 = califorms_4b_l1().overhead_vs(base)[1]
+        d1 = califorms_1b_l1().overhead_vs(base)[1]
+        assert d4 > d1 > d8
+
+    def test_variant_delay_overheads_near_paper(self):
+        base = baseline_l1()
+        assert califorms_4b_l1().overhead_vs(base)[1] == pytest.approx(
+            49.38, abs=6.0
+        )
+        assert califorms_1b_l1().overhead_vs(base)[1] == pytest.approx(
+            22.22, abs=4.0
+        )
+
+    def test_variants_slow_down_conversions(self):
+        # Table 7: the two dense variants add ~9 % spill and ~34 % fill
+        # delay over the 8B modules.
+        assert spill_cost("4B").delay_ns > spill_cost("8B").delay_ns
+        assert fill_cost("1B").delay_ns > fill_cost("8B").delay_ns
+
+    def test_three_rows(self):
+        rows = table7_rows()
+        assert [row["design"] for row in rows] == [
+            "Califorms-8B",
+            "Califorms-4B",
+            "Califorms-1B",
+        ]
+
+
+class TestModuleStructure:
+    def test_spill_depth_exceeds_fill(self):
+        assert spill_module().depth > fill_module().depth
+
+    def test_spill_dominated_by_find_index_chain(self):
+        # Pipelining claim: the four chained find-index blocks are the
+        # critical path, so they must dominate total depth.
+        assert spill_module().depth > 40

@@ -1,0 +1,74 @@
+"""Tests for the Tables 4/5/6 comparison machinery."""
+
+from repro.baselines.comparison import (
+    TABLE4,
+    TABLE5,
+    TABLE6,
+    all_traits,
+    implemented_models,
+    render_table,
+    table_rows,
+)
+
+
+class TestRows:
+    def test_califorms_is_last_row(self):
+        assert all_traits()[-1].name == "Califorms"
+
+    def test_expected_schemes_present(self):
+        names = {t.name for t in all_traits()}
+        for required in (
+            "Hardbound",
+            "Watchdog",
+            "PUMP",
+            "CHERI",
+            "Intel MPX",
+            "SPARC ADI",
+            "SafeMem",
+            "REST",
+            "Califorms",
+        ):
+            assert required in names
+
+    def test_table4_headline_claims(self):
+        rows = {row["Proposal"]: row for row in table_rows(TABLE4)}
+        califorms = rows["Califorms"]
+        assert califorms["Protection granularity"] == "byte"
+        assert califorms["Intra-object"] == "yes"
+        assert "yes" in califorms["Temporal safety"]
+        # Only Califorms combines byte granularity + unconditional
+        # intra-object protection (Table 4's point).
+        unconditional = [
+            name
+            for name, row in rows.items()
+            if row["Intra-object"] == "yes"
+        ]
+        assert unconditional == ["Califorms"]
+
+    def test_each_table_has_all_rows(self):
+        count = len(all_traits())
+        for spec in (TABLE4, TABLE5, TABLE6):
+            assert len(table_rows(spec)) == count
+
+
+class TestRendering:
+    def test_render_contains_all_names(self):
+        text = render_table(TABLE4)
+        for traits in all_traits():
+            assert traits.name in text
+
+    def test_render_aligned_header(self):
+        text = render_table(TABLE5)
+        lines = text.splitlines()
+        assert lines[0].startswith("Table 5")
+        assert set(lines[3]) <= {"-", " "}
+
+
+class TestImplementedModels:
+    def test_fresh_instances(self):
+        first = implemented_models()
+        second = implemented_models()
+        assert all(a is not b for a, b in zip(first, second))
+
+    def test_six_functional_schemes(self):
+        assert len(implemented_models()) == 6

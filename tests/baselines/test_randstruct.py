@@ -1,0 +1,94 @@
+"""Tests for the randstruct baseline and the BROP simulation."""
+
+from repro.analysis.attacks import run_attack_suite
+from repro.baselines.randstruct import (
+    RandstructModel,
+    offset_bounds,
+    simulate_brop,
+)
+from repro.softstack.ctypes_model import LISTING_1_STRUCT_A
+
+
+class TestRandstructModel:
+    def test_detects_nothing(self):
+        report = run_attack_suite(RandstructModel())
+        assert report.detection_rate == 0.0
+
+    def test_traits_row(self):
+        traits = RandstructModel.traits
+        assert traits.intra_object == "probabilistic only"
+        assert traits.metadata_overhead == "none"
+
+
+class TestOffsetBounds:
+    def test_bounds_bracket_actual_layouts(self):
+        import random
+
+        from repro.softstack.insertion import full
+        from repro.softstack.layout import layout_struct
+
+        low, high = offset_bounds(LISTING_1_STRUCT_A, "buf", 1, 7)
+        natural = layout_struct(LISTING_1_STRUCT_A)
+        for seed in range(20):
+            layout = full(natural, random.Random(seed), 1, 7)
+            assert low <= layout.offset_of("buf") <= high
+
+    def test_alignment_quantizes_pointer_targets(self):
+        # An 8-aligned field has far fewer reachable offsets than a
+        # byte-aligned buffer: alignment eats randomization entropy.
+        fp_low, fp_high = offset_bounds(LISTING_1_STRUCT_A, "fp", 1, 7)
+        buf_low, buf_high = offset_bounds(LISTING_1_STRUCT_A, "buf", 1, 7)
+        fp_candidates = (fp_high - fp_low) // 8 + 1
+        buf_candidates = buf_high - buf_low + 1
+        assert fp_candidates < buf_candidates
+
+
+class TestBropSimulation:
+    def test_fixed_layout_falls_to_enumeration(self):
+        low, high = offset_bounds(LISTING_1_STRUCT_A, "buf", 1, 7)
+        result = simulate_brop(
+            LISTING_1_STRUCT_A, "buf", rerandomize_on_respawn=False,
+            max_attempts=3000, seed=1,
+        )
+        assert result.succeeded
+        # Systematic enumeration is bounded by the candidate-space size.
+        assert result.attempts <= high - low + 1
+
+    def test_rerandomization_is_memoryless(self):
+        """Re-randomized respawns: attempts follow a geometric law, so
+        some runs far exceed the enumeration bound of the fixed case."""
+        low, high = offset_bounds(LISTING_1_STRUCT_A, "buf", 1, 7)
+        bound = high - low + 1
+        attempts = [
+            simulate_brop(
+                LISTING_1_STRUCT_A, "buf", rerandomize_on_respawn=True,
+                max_attempts=3000, seed=seed,
+            ).attempts
+            for seed in range(10)
+        ]
+        assert max(attempts) > bound  # unbounded tail, unlike enumeration
+        assert sum(attempts) / len(attempts) > bound / 2
+
+    def test_narrow_span_range_is_weak(self):
+        # With 1-1 spans there is nothing to guess: first try wins.
+        result = simulate_brop(
+            LISTING_1_STRUCT_A, "buf", rerandomize_on_respawn=True,
+            span_min=1, span_max=1, max_attempts=5, seed=0,
+        )
+        assert result.succeeded
+        assert result.attempts == 1
+
+    def test_crash_counting(self):
+        result = simulate_brop(
+            LISTING_1_STRUCT_A, "buf", rerandomize_on_respawn=False,
+            max_attempts=3000, seed=3,
+        )
+        assert result.crashes == result.attempts - 1
+
+    def test_gives_up_at_max_attempts(self):
+        result = simulate_brop(
+            LISTING_1_STRUCT_A, "buf", rerandomize_on_respawn=True,
+            max_attempts=1, seed=3,
+        )
+        if not result.succeeded:
+            assert result.attempts == 1

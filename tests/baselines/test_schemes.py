@@ -1,0 +1,149 @@
+"""Tests for the baseline safety models: who detects what."""
+
+import pytest
+
+from repro.baselines.base import DetectionTime
+from repro.baselines.califorms_model import CaliformsModel
+from repro.baselines.tripwires import CanaryModel, RestModel, SafeMemModel
+from repro.baselines.whitelisting import AdiModel, MpxModel
+
+BASE = 0x10000
+
+
+def overflowing_access(model, size=128, span=((20, 3),)):
+    """Allocate an object and overflow one byte past its end."""
+    allocation = model.on_alloc(BASE, size, intra_spans=span)
+    return allocation, model.check_access(allocation, BASE + size, 8, True)
+
+
+class TestRest:
+    def test_adjacent_overflow_detected(self):
+        model = RestModel(token_size=64)
+        _, violation = overflowing_access(model)
+        assert violation is not None
+        assert violation.when is DetectionTime.IMMEDIATE
+
+    def test_intra_object_overflow_missed(self):
+        model = RestModel()
+        allocation = model.on_alloc(BASE, 128, intra_spans=((20, 3),))
+        # Write into the dead span inside the object: REST cannot see it.
+        assert model.check_access(allocation, BASE + 20, 3, True) is None
+
+    def test_use_after_free_detected(self):
+        model = RestModel()
+        allocation = model.on_alloc(BASE, 128)
+        model.on_free(allocation)
+        assert model.check_access(allocation, BASE + 10, 4, False) is not None
+
+    def test_jump_over_token(self):
+        # Skipping past the 64B token lands in unprotected memory.
+        model = RestModel(token_size=8)
+        allocation = model.on_alloc(BASE, 128)
+        assert model.check_access(allocation, BASE + 128 + 8, 4, True) is None
+
+    def test_token_size_validated(self):
+        with pytest.raises(ValueError):
+            RestModel(token_size=4)
+
+
+class TestSafeMem:
+    def test_line_granularity_detection(self):
+        model = SafeMemModel()
+        allocation = model.on_alloc(BASE, 128)
+        assert model.check_access(allocation, BASE + 128, 1, True) is not None
+
+    def test_speculative_bypass_misses_reads(self):
+        model = SafeMemModel(speculative_bypass=True)
+        allocation = model.on_alloc(BASE, 128)
+        assert model.check_access(allocation, BASE + 128, 1, False) is None
+        assert model.check_access(allocation, BASE + 128, 1, True) is not None
+
+
+class TestCanary:
+    def test_overwrite_detected_deferred(self):
+        model = CanaryModel()
+        allocation = model.on_alloc(BASE, 128)
+        violation = model.check_access(allocation, BASE + 128, 8, True)
+        assert violation is not None
+        assert violation.when is DetectionTime.DEFERRED
+        assert model.run_checks() == [BASE + 128]
+
+    def test_overread_never_detected(self):
+        model = CanaryModel()
+        allocation = model.on_alloc(BASE, 128)
+        assert model.check_access(allocation, BASE + 128, 8, False) is None
+        assert model.run_checks() == []
+
+
+class TestMpx:
+    def test_overflow_detected(self):
+        model = MpxModel()
+        _, violation = overflowing_access(model)
+        assert violation is not None
+
+    def test_intra_object_missed_without_narrowing(self):
+        model = MpxModel(bounds_narrowing=False)
+        allocation = model.on_alloc(BASE, 128, intra_spans=((20, 3),))
+        assert model.check_access(allocation, BASE + 20, 3, True) is None
+
+    def test_intra_object_caught_with_narrowing(self):
+        model = MpxModel(bounds_narrowing=True)
+        allocation = model.on_alloc(BASE, 128, intra_spans=((20, 3),))
+        # Accessing across the span boundary from below is out of the
+        # narrowed bounds.
+        assert model.check_access(allocation, BASE + 18, 4, True) is not None
+
+    def test_laundered_pointer_unprotected(self):
+        model = MpxModel()
+        allocation = model.on_alloc(BASE, 128)
+        model.launder(allocation)
+        assert model.check_access(allocation, BASE + 4096, 8, True) is None
+
+    def test_no_temporal_safety(self):
+        model = MpxModel()
+        allocation = model.on_alloc(BASE, 128)
+        model.on_free(allocation)
+        assert model.check_access(allocation, BASE + 8, 8, False) is None
+
+
+class TestAdi:
+    def test_overflow_into_differently_colored_neighbour(self):
+        model = AdiModel()
+        a = model.on_alloc(BASE, 128)
+        model.on_alloc(BASE + 128, 128)  # neighbour gets the next colour
+        assert model.check_access(a, BASE + 128, 8, True) is not None
+
+    def test_color_collision_goes_undetected(self):
+        model = AdiModel()
+        first = model.on_alloc(BASE, 64)
+        # Burn through the colour space so a later neighbour collides.
+        for index in range(AdiModel.USABLE_COLORS - 1):
+            model.on_alloc(BASE + 0x1000 + index * 64, 64)
+        collider = model.on_alloc(BASE + 64, 64)
+        assert collider.color == first.color
+        # Overflow from `first` into `collider` is invisible.
+        assert model.check_access(first, BASE + 64, 8, True) is None
+
+    def test_use_after_free_detected(self):
+        model = AdiModel()
+        allocation = model.on_alloc(BASE, 64)
+        model.on_free(allocation)
+        assert model.check_access(allocation, BASE, 8, False) is not None
+
+
+class TestCaliformsAdapter:
+    def test_intra_object_detected(self):
+        model = CaliformsModel()
+        allocation = model.on_alloc(BASE, 128, intra_spans=((20, 3),))
+        assert model.check_access(allocation, BASE + 20, 1, True) is not None
+
+    def test_live_data_clean(self):
+        model = CaliformsModel()
+        allocation = model.on_alloc(BASE, 128, intra_spans=((20, 3),))
+        assert model.check_access(allocation, BASE, 20, False) is None
+
+    def test_use_after_free_detected(self):
+        model = CaliformsModel()
+        allocation = model.on_alloc(BASE, 128, intra_spans=((20, 3),))
+        model.on_free(allocation)
+        assert model.check_access(allocation, BASE + 50, 4, False) is not None

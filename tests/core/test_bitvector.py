@@ -1,0 +1,115 @@
+"""Unit and property tests for repro.core.bitvector."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bitvector as bv
+
+
+class TestBitBasics:
+    def test_bit_positions(self):
+        assert bv.bit(0) == 1
+        assert bv.bit(5) == 32
+        assert bv.bit(63) == 1 << 63
+
+    def test_bit_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            bv.bit(64)
+        with pytest.raises(ValueError):
+            bv.bit(-1)
+
+    def test_set_clear_roundtrip(self):
+        mask = 0
+        mask = bv.set_bit(mask, 7)
+        assert bv.test_bit(mask, 7)
+        mask = bv.clear_bit(mask, 7)
+        assert not bv.test_bit(mask, 7)
+        assert mask == 0
+
+    def test_set_is_idempotent(self):
+        mask = bv.set_bit(0, 3)
+        assert bv.set_bit(mask, 3) == mask
+
+    def test_clear_is_idempotent(self):
+        assert bv.clear_bit(0, 3) == 0
+
+    def test_popcount(self):
+        assert bv.popcount(0) == 0
+        assert bv.popcount(0b1011) == 3
+        assert bv.popcount(bv.FULL_MASK) == 64
+
+
+class TestMaskConversions:
+    def test_iter_set_bits_ascending(self):
+        assert list(bv.iter_set_bits(0b101001)) == [0, 3, 5]
+
+    def test_iter_set_bits_empty(self):
+        assert list(bv.iter_set_bits(0)) == []
+
+    def test_mask_from_indices(self):
+        assert bv.mask_from_indices([1, 3]) == 0b1010
+
+    def test_mask_from_indices_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            bv.mask_from_indices([64])
+
+    def test_indices_roundtrip(self):
+        indices = [0, 17, 42, 63]
+        assert bv.indices_from_mask(bv.mask_from_indices(indices)) == indices
+
+    @given(st.integers(min_value=0, max_value=bv.FULL_MASK))
+    def test_mask_indices_mask_identity(self, mask):
+        assert bv.mask_from_indices(bv.indices_from_mask(mask)) == mask
+
+    @given(st.integers(min_value=0, max_value=bv.FULL_MASK))
+    def test_popcount_matches_indices(self, mask):
+        assert bv.popcount(mask) == len(bv.indices_from_mask(mask))
+
+
+class TestRangeMask:
+    def test_simple_range(self):
+        assert bv.range_mask(0, 4) == 0b1111
+
+    def test_offset_range(self):
+        assert bv.range_mask(2, 2) == 0b1100
+
+    def test_empty_range(self):
+        assert bv.range_mask(10, 0) == 0
+
+    def test_full_line(self):
+        assert bv.range_mask(0, 64) == bv.FULL_MASK
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            bv.range_mask(60, 5)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            bv.range_mask(0, -1)
+
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=64),
+    )
+    def test_popcount_equals_size(self, offset, size):
+        if offset + size > 64:
+            size = 64 - offset
+        assert bv.popcount(bv.range_mask(offset, size)) == size
+
+
+class TestInvertAndLow6:
+    def test_invert_is_involution(self):
+        assert bv.invert(bv.invert(0b1010)) == 0b1010
+
+    def test_invert_of_zero_is_full(self):
+        assert bv.invert(0) == bv.FULL_MASK
+
+    def test_low6_masks_top_bits(self):
+        assert bv.low6(0xFF) == 0x3F
+        assert bv.low6(0x40) == 0
+        assert bv.low6(0x3F) == 0x3F
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_low6_range(self, value):
+        assert 0 <= bv.low6(value) < 64

@@ -1,0 +1,134 @@
+"""Unit and property tests for the CFORM instruction semantics (Table 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bitvector as bv
+from repro.core.cform import CformRequest, apply_cform, apply_cform_mask
+from repro.core.exceptions import AccessKind, CformUsageError
+from repro.core.line_formats import LINE_SIZE, BitvectorLine
+
+masks = st.integers(min_value=0, max_value=bv.FULL_MASK)
+
+
+class TestRequestValidation:
+    def test_requires_line_alignment(self):
+        with pytest.raises(ValueError):
+            CformRequest(line_address=8, attributes=0, mask=0)
+
+    def test_accepts_aligned_address(self):
+        CformRequest(line_address=128, attributes=0, mask=0)
+
+    def test_rejects_oversized_vectors(self):
+        with pytest.raises(ValueError):
+            CformRequest(0, attributes=1 << 64, mask=0)
+        with pytest.raises(ValueError):
+            CformRequest(0, attributes=0, mask=1 << 64)
+
+    def test_set_bytes_helper(self):
+        request = CformRequest.set_bytes(0, [1, 2])
+        assert request.attributes == 0b110
+        assert request.mask == 0b110
+
+    def test_unset_bytes_helper(self):
+        request = CformRequest.unset_bytes(0, [1, 2])
+        assert request.attributes == 0
+        assert request.mask == 0b110
+
+
+class TestKmapRows:
+    """Each cell of the reconstructed Table 1 K-map."""
+
+    def test_regular_masked_out_stays_regular(self):
+        # (X, Disallow) on a regular byte: no change.
+        assert apply_cform_mask(0, CformRequest(0, attributes=bv.bit(0), mask=0)) == 0
+
+    def test_security_masked_out_stays_security(self):
+        mask = bv.bit(0)
+        assert apply_cform_mask(mask, CformRequest(0, attributes=0, mask=0)) == mask
+
+    def test_set_on_regular_becomes_security(self):
+        request = CformRequest.set_bytes(0, [4])
+        assert apply_cform_mask(0, request) == bv.bit(4)
+
+    def test_unset_on_security_becomes_regular(self):
+        request = CformRequest.unset_bytes(0, [4])
+        assert apply_cform_mask(bv.bit(4), request) == 0
+
+    def test_set_on_security_raises(self):
+        request = CformRequest.set_bytes(0, [4])
+        with pytest.raises(CformUsageError) as excinfo:
+            apply_cform_mask(bv.bit(4), request)
+        assert excinfo.value.kind is AccessKind.CFORM_SET
+        assert excinfo.value.record.byte_indices == (4,)
+
+    def test_unset_on_regular_raises(self):
+        request = CformRequest.unset_bytes(0, [4])
+        with pytest.raises(CformUsageError) as excinfo:
+            apply_cform_mask(0, request)
+        assert excinfo.value.kind is AccessKind.CFORM_UNSET
+
+    def test_partial_update_leaves_other_bytes(self):
+        initial = bv.mask_from_indices([1, 2])
+        request = CformRequest.unset_bytes(0, [1])
+        assert apply_cform_mask(initial, request) == bv.bit(2)
+
+    def test_mixed_set_and_unset_in_one_instruction(self):
+        # Unset byte 1, set byte 5, all in a single CFORM.
+        initial = bv.bit(1)
+        request = CformRequest(0, attributes=bv.bit(5), mask=bv.bit(1) | bv.bit(5))
+        assert apply_cform_mask(initial, request) == bv.bit(5)
+
+
+class TestApplyToLine:
+    def test_newly_set_bytes_are_zeroed(self):
+        line = BitvectorLine(bytearray(range(LINE_SIZE)), 0)
+        apply_cform(line, CformRequest.set_bytes(0, [10]))
+        assert line.is_security(10)
+        assert line.data[10] == 0
+
+    def test_unset_bytes_read_zero_until_overwritten(self):
+        line = BitvectorLine(bytearray(range(LINE_SIZE)), bv.bit(10))
+        apply_cform(line, CformRequest.unset_bytes(0, [10]))
+        assert not line.is_security(10)
+        assert line.data[10] == 0
+
+    def test_failed_cform_leaves_line_untouched(self):
+        line = BitvectorLine(bytearray(range(LINE_SIZE)), bv.bit(10))
+        with pytest.raises(CformUsageError):
+            apply_cform(line, CformRequest.set_bytes(0, [10, 11]))
+        assert line.secmask == bv.bit(10)
+        assert line.data[11] == 11
+
+
+class TestKmapProperties:
+    @given(masks, masks)
+    def test_set_then_unset_is_identity(self, initial, change):
+        """Setting fresh bytes then unsetting them restores the mask."""
+        change &= bv.invert(initial)  # only set currently-regular bytes
+        set_request = CformRequest(0, attributes=change, mask=change)
+        after_set = apply_cform_mask(initial, set_request)
+        unset_request = CformRequest(0, attributes=0, mask=change)
+        assert apply_cform_mask(after_set, unset_request) == initial
+
+    @given(masks, masks, masks)
+    def test_untouched_bytes_never_change(self, initial, attributes, mask):
+        try:
+            result = apply_cform_mask(
+                initial, CformRequest(0, attributes=attributes, mask=mask)
+            )
+        except CformUsageError:
+            return
+        untouched = bv.invert(mask)
+        assert result & untouched == initial & untouched
+
+    @given(masks, masks)
+    def test_exception_iff_kmap_violation(self, initial, mask):
+        """Setting every allowed byte raises iff some allowed byte is set."""
+        request = CformRequest(0, attributes=mask, mask=mask)
+        if initial & mask:
+            with pytest.raises(CformUsageError):
+                apply_cform_mask(initial, request)
+        else:
+            assert apply_cform_mask(initial, request) == initial | mask

@@ -1,0 +1,140 @@
+"""Unit tests for the BitvectorLine / SentinelLine representations."""
+
+import pytest
+
+from repro.core import bitvector as bv
+from repro.core.exceptions import AccessKind, SecurityByteAccess
+from repro.core.line_formats import (
+    LINE_SIZE,
+    BitvectorLine,
+    SentinelLine,
+    normalize_security_bytes,
+)
+
+
+def make_line(secmask=0, fill=None):
+    data = bytearray(range(LINE_SIZE)) if fill is None else bytearray(fill)
+    return BitvectorLine(data, secmask)
+
+
+class TestNormalization:
+    def test_security_positions_forced_to_zero(self):
+        data = bytes(range(LINE_SIZE))
+        out = normalize_security_bytes(data, bv.mask_from_indices([1, 5]))
+        assert out[1] == 0 and out[5] == 0
+        assert out[0] == 0 and out[2] == 2
+
+    def test_zero_mask_is_identity(self):
+        data = bytes(range(LINE_SIZE))
+        assert normalize_security_bytes(data, 0) == data
+
+    def test_rejects_short_line(self):
+        with pytest.raises(ValueError):
+            normalize_security_bytes(b"abc", 0)
+
+    def test_constructor_normalizes(self):
+        line = make_line(secmask=bv.bit(3))
+        assert line.data[3] == 0
+
+
+class TestConstruction:
+    def test_natural_line_is_clean(self):
+        line = BitvectorLine.natural()
+        assert not line.is_califormed
+        assert line.security_count() == 0
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            BitvectorLine(bytearray(10), 0)
+
+    def test_rejects_oversized_mask(self):
+        with pytest.raises(ValueError):
+            BitvectorLine(bytearray(LINE_SIZE), 1 << 64)
+
+    def test_copy_is_independent(self):
+        line = make_line(secmask=bv.bit(0))
+        other = line.copy()
+        other.data[10] = 99
+        other.secmask = 0
+        assert line.data[10] == 10
+        assert line.secmask == bv.bit(0)
+
+
+class TestQueries:
+    def test_is_security(self):
+        line = make_line(secmask=bv.mask_from_indices([2, 9]))
+        assert line.is_security(2)
+        assert line.is_security(9)
+        assert not line.is_security(3)
+
+    def test_security_indices_sorted(self):
+        line = make_line(secmask=bv.mask_from_indices([40, 3, 17]))
+        assert line.security_indices() == [3, 17, 40]
+
+
+class TestLoadPath:
+    def test_clean_load_returns_data(self):
+        line = make_line()
+        value, record = line.load(4, 4)
+        assert value == bytes([4, 5, 6, 7])
+        assert record is None
+
+    def test_load_over_security_byte_returns_zero_and_record(self):
+        line = make_line(secmask=bv.bit(5))
+        value, record = line.load(4, 4, base_address=0x1000)
+        assert value[1] == 0  # the security byte reads as zero
+        assert value[0] == 4 and value[2] == 6
+        assert record is not None
+        assert record.kind is AccessKind.LOAD
+        assert record.address == 0x1004
+        assert record.byte_indices == (5,)
+
+    def test_load_or_raise(self):
+        line = make_line(secmask=bv.bit(0))
+        with pytest.raises(SecurityByteAccess):
+            line.load_or_raise(0, 1)
+
+    def test_load_or_raise_clean(self):
+        line = make_line()
+        assert line.load_or_raise(0, 2) == bytes([0, 1])
+
+
+class TestStorePath:
+    def test_clean_store_commits(self):
+        line = make_line()
+        assert line.store(8, b"\xaa\xbb") is None
+        assert line.data[8] == 0xAA and line.data[9] == 0xBB
+
+    def test_store_over_security_byte_is_suppressed(self):
+        line = make_line(secmask=bv.bit(9))
+        record = line.store(8, b"\xaa\xbb", base_address=0x2000)
+        assert record is not None
+        assert record.kind is AccessKind.STORE
+        assert record.address == 0x2008
+        # The store must NOT have committed (reported before commit).
+        assert line.data[8] == 8
+        assert line.data[9] == 0
+
+    def test_store_or_raise(self):
+        line = make_line(secmask=bv.bit(0))
+        with pytest.raises(SecurityByteAccess):
+            line.store_or_raise(0, b"x")
+
+
+class TestSentinelLine:
+    def test_natural_constructor(self):
+        line = SentinelLine.natural()
+        assert not line.califormed
+        assert line.raw == bytes(LINE_SIZE)
+
+    def test_metadata_is_one_bit(self):
+        assert SentinelLine.natural().metadata_bits == 1
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            SentinelLine(b"short", False)
+
+    def test_frozen(self):
+        line = SentinelLine.natural()
+        with pytest.raises(AttributeError):
+            line.califormed = True

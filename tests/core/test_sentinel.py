@@ -1,0 +1,193 @@
+"""Unit and property tests for the califorms-sentinel codec.
+
+The round-trip property (encode then decode restores every regular byte and
+the exact security mask) is the correctness core of the whole design: it is
+what guarantees no data corruption as lines move L1 <-> L2 <-> DRAM.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitvector as bv
+from repro.core.exceptions import SentinelNotFoundError
+from repro.core.line_formats import LINE_SIZE, BitvectorLine, SentinelLine
+from repro.core.sentinel import (
+    HEADER_BYTES_FOR_CODE,
+    decode,
+    encode,
+    find_sentinel,
+    roundtrip,
+)
+
+line_data = st.binary(min_size=LINE_SIZE, max_size=LINE_SIZE)
+security_sets = st.sets(st.integers(min_value=0, max_value=63), max_size=64)
+
+
+def build(data, indices):
+    return BitvectorLine(bytearray(data), bv.mask_from_indices(indices))
+
+
+class TestFindSentinel:
+    def test_rejects_uncaliformed_line(self):
+        with pytest.raises(SentinelNotFoundError):
+            find_sentinel(bytes(LINE_SIZE), 0)
+
+    def test_avoids_used_low6_patterns(self):
+        # Regular bytes use patterns 0..62; byte 63 is a security byte.
+        data = bytes(range(63)) + b"\x00"
+        sentinel = find_sentinel(data, bv.bit(63))
+        assert sentinel == 63
+
+    def test_all_security_line_gets_pattern_zero(self):
+        sentinel = find_sentinel(bytes(LINE_SIZE), bv.FULL_MASK)
+        assert sentinel == 0
+
+    def test_ignores_high_two_bits(self):
+        # 0x40 and 0x00 share low-6 pattern 0; both must be avoided as one.
+        data = bytes([0x40]) * 63 + b"\x00"
+        sentinel = find_sentinel(data, bv.bit(63))
+        assert sentinel != 0
+
+    @given(line_data, security_sets.filter(lambda s: len(s) >= 1))
+    def test_sentinel_never_collides_with_regular_bytes(self, data, indices):
+        mask = bv.mask_from_indices(indices)
+        sentinel = find_sentinel(data, mask)
+        regular_patterns = {
+            bv.low6(data[i]) for i in range(LINE_SIZE) if not bv.test_bit(mask, i)
+        }
+        assert sentinel not in regular_patterns
+        assert 0 <= sentinel < 64
+
+
+class TestEncodeBasics:
+    def test_uncaliformed_line_passes_through(self):
+        data = bytes(range(LINE_SIZE))
+        encoded = encode(BitvectorLine(bytearray(data), 0))
+        assert not encoded.califormed
+        assert encoded.raw == data
+
+    def test_single_security_byte_header(self):
+        line = build(range(LINE_SIZE), [10])
+        encoded = encode(line)
+        assert encoded.califormed
+        assert encoded.raw[0] & 0b11 == 0b00  # count code: one
+        assert (encoded.raw[0] >> 2) & 0x3F == 10  # addr0
+        # Original byte 0 parked in the security slot.
+        assert encoded.raw[10] == 0
+
+    def test_two_security_bytes_header(self):
+        line = build(range(LINE_SIZE), [10, 20])
+        encoded = encode(line)
+        assert encoded.raw[0] & 0b11 == 0b01
+        value = int.from_bytes(encoded.raw[:2], "little")
+        assert (value >> 2) & 0x3F == 10
+        assert (value >> 8) & 0x3F == 20
+
+    def test_four_plus_encodes_sentinel_in_fourth_byte(self):
+        line = build(range(LINE_SIZE), [8, 9, 10, 11, 40])
+        encoded = encode(line)
+        assert encoded.raw[0] & 0b11 == 0b11
+        value = int.from_bytes(encoded.raw[:4], "little")
+        sentinel = (value >> 26) & 0x3F
+        # The fifth security byte is marked with the sentinel.
+        assert bv.low6(encoded.raw[40]) == sentinel
+
+    def test_header_lengths(self):
+        assert HEADER_BYTES_FOR_CODE == (1, 2, 3, 4)
+
+
+class TestDecodeBasics:
+    def test_uncaliformed_line_passes_through(self):
+        data = bytes(range(LINE_SIZE))
+        line = decode(SentinelLine(data, False))
+        assert line.secmask == 0
+        assert bytes(line.data) == data
+
+    def test_decode_restores_displaced_byte(self):
+        original = build(range(LINE_SIZE), [30])
+        restored = decode(encode(original))
+        assert restored.secmask == bv.bit(30)
+        assert restored.data[0] == 0  # original data[0] = 0 restored
+        assert bytes(restored.data[1:30]) == bytes(range(1, 30))
+
+
+class TestRoundTripCorners:
+    """Hand-picked corner cases for the header-displacement logic."""
+
+    def corner(self, indices):
+        original = build(
+            bytes((i * 7 + 3) % 256 for i in range(LINE_SIZE)), indices
+        )
+        restored = roundtrip(original)
+        assert restored.secmask == original.secmask, indices
+        assert bytes(restored.data) == bytes(original.data), indices
+
+    def test_security_inside_header_one(self):
+        self.corner([0])
+
+    def test_security_inside_header_two(self):
+        self.corner([0, 50])
+        self.corner([1, 50])
+        self.corner([0, 1])
+
+    def test_security_inside_header_three(self):
+        self.corner([0, 1, 2])
+        self.corner([1, 2, 50])
+        self.corner([2, 40, 50])
+
+    def test_security_inside_header_four(self):
+        self.corner([0, 1, 2, 3])
+        self.corner([0, 1, 2, 63])
+        self.corner([3, 40, 50, 60])
+
+    def test_five_plus_with_header_overlap(self):
+        self.corner([0, 1, 2, 3, 4])
+        self.corner([0, 1, 2, 3, 63])
+        self.corner([1, 2, 3, 4, 5, 6])
+
+    def test_whole_line_blacklisted(self):
+        self.corner(range(64))
+
+    def test_dense_tail(self):
+        self.corner(range(32, 64))
+
+    def test_alternating(self):
+        self.corner(range(0, 64, 2))
+
+
+@settings(max_examples=300)
+@given(line_data, security_sets)
+def test_roundtrip_property(data, indices):
+    """encode -> decode is the identity on (regular data, security mask)."""
+    original = build(data, indices)
+    restored = roundtrip(original)
+    assert restored.secmask == original.secmask
+    assert bytes(restored.data) == bytes(original.data)
+
+
+@settings(max_examples=200)
+@given(line_data, security_sets.filter(lambda s: len(s) >= 1))
+def test_encoded_line_always_flags_califormed(data, indices):
+    assert encode(build(data, indices)).califormed
+
+
+@settings(max_examples=200)
+@given(line_data, security_sets)
+def test_encode_is_deterministic(data, indices):
+    line = build(data, indices)
+    assert encode(line).raw == encode(line.copy()).raw
+
+
+@settings(max_examples=200)
+@given(line_data, security_sets.filter(lambda s: len(s) >= 1))
+def test_critical_word_first_support(data, indices):
+    """Security-byte locations are recoverable from the first 4 bytes alone
+    plus a scan — i.e. listed addresses never exceed the first flit's header
+    (Section 5.2's critical-word-first claim)."""
+    encoded = encode(build(data, indices))
+    code = encoded.raw[0] & 0b11
+    header = int.from_bytes(encoded.raw[:4], "little")
+    listed = [(header >> (2 + 6 * i)) & 0x3F for i in range(code + 1)]
+    expected_first = sorted(indices)[: code + 1]
+    assert listed == expected_first

@@ -1,0 +1,129 @@
+"""Adversarial inputs for the sentinel codec.
+
+Data patterns deliberately crafted to collide with the encoding's own
+structures: bytes that mimic header codes, data equal to the chosen
+sentinel, lines where nearly every 6-bit pattern is in use.  The
+round-trip property must hold regardless — a decoder that trusted the
+data bytes would corrupt memory on exactly these inputs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitvector as bv
+from repro.core.line_formats import LINE_SIZE, BitvectorLine, SentinelLine
+from repro.core.sentinel import decode, encode, find_sentinel, roundtrip
+
+
+def check(data, indices):
+    line = BitvectorLine(bytearray(data), bv.mask_from_indices(indices))
+    restored = roundtrip(line)
+    assert restored.secmask == line.secmask
+    assert bytes(restored.data) == bytes(line.data)
+
+
+class TestHeaderMimicry:
+    def test_data_that_looks_like_headers(self):
+        # Every byte advertises "count code 11" with plausible addresses.
+        data = bytes([0b11] * LINE_SIZE)
+        check(data, [5])
+        check(data, [5, 6, 7, 8, 9])
+
+    def test_data_equal_to_future_header_bytes(self):
+        # Data bytes 0..3 equal what the header would encode for this set.
+        line = BitvectorLine(bytearray(range(64)), bv.mask_from_indices([8, 9]))
+        header = encode(line).raw[:2]
+        data = bytearray(range(64))
+        data[0:2] = header
+        check(bytes(data), [8, 9])
+
+
+class TestSentinelCollisions:
+    def test_data_bytes_equal_sentinel_in_high_bits(self):
+        # Low-6 bits of regular data cover patterns 0..62; high bits vary.
+        data = bytes((i % 63) | 0xC0 for i in range(LINE_SIZE))
+        check(data, [10, 20, 30, 40, 50])
+
+    def test_nearly_exhausted_pattern_space(self):
+        # 63 distinct low-6 patterns among regular bytes: exactly one
+        # sentinel candidate remains.
+        data = bytes(range(63)) + b"\x00"
+        mask = bv.bit(63)
+        assert find_sentinel(data, mask) == 63
+        check(data, [63])
+
+    def test_parked_data_matching_sentinel(self):
+        # Byte 0 (which will be parked into a security slot >= 4 under a
+        # 4+ security set) has low-6 bits likely to match early patterns.
+        data = bytearray(range(64))
+        data[0] = 63  # sentinel candidates start at the first free value
+        check(bytes(data), [4, 5, 6, 7, 8])
+
+
+class TestDecoderRobustness:
+    def test_uncaliformed_garbage_is_data(self):
+        # Any 64 bytes with the metadata bit clear decode to themselves.
+        raw = bytes([0xFF] * LINE_SIZE)
+        line = decode(SentinelLine(raw, False))
+        assert bytes(line.data) == raw
+        assert line.secmask == 0
+
+    def test_every_single_security_position(self):
+        for position in range(LINE_SIZE):
+            check(bytes([0xA5] * LINE_SIZE), [position])
+
+    def test_every_pair_with_position_zero(self):
+        for position in range(1, LINE_SIZE):
+            check(bytes(range(64)), [0, position])
+
+
+@settings(max_examples=150)
+@given(
+    pattern=st.integers(min_value=0, max_value=255),
+    indices=st.sets(st.integers(min_value=0, max_value=63), min_size=1, max_size=64),
+)
+def test_constant_fill_roundtrip(pattern, indices):
+    """Constant-fill lines maximise low-6-bit collisions."""
+    check(bytes([pattern] * LINE_SIZE), indices)
+
+
+@settings(max_examples=150)
+@given(
+    indices=st.sets(st.integers(min_value=0, max_value=63), min_size=4, max_size=64),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_low_entropy_data_roundtrip(indices, seed):
+    """Data drawn from a tiny alphabet (many repeated low-6 patterns)."""
+    import random
+
+    rng = random.Random(seed)
+    data = bytes(rng.choice([0, 1, 63, 64, 128, 255]) for _ in range(LINE_SIZE))
+    check(data, indices)
+
+
+@settings(max_examples=100)
+@given(st.sets(st.integers(min_value=0, max_value=63), min_size=1, max_size=64))
+def test_double_encode_is_stable(indices):
+    """encode(decode(encode(x))) == encode(x): the codec is idempotent."""
+    line = BitvectorLine(bytearray(range(64)), bv.mask_from_indices(indices))
+    once = encode(line)
+    twice = encode(decode(once))
+    assert once.raw == twice.raw
+    assert once.califormed == twice.califormed
+
+
+def test_sentinel_line_is_not_natural_data():
+    """A califormed line's raw bytes differ from the natural view — the
+    reason DMA without califorms-awareness leaks format, not data."""
+    line = BitvectorLine(bytearray(range(64)), bv.mask_from_indices([30]))
+    encoded = encode(line)
+    assert encoded.raw != bytes(line.data)
+
+
+@pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 16, 63, 64])
+def test_header_code_matches_population(count):
+    indices = list(range(count))
+    line = BitvectorLine(bytearray([0x11] * 64), bv.mask_from_indices(indices))
+    encoded = encode(line)
+    assert encoded.raw[0] & 0b11 == min(count, 4) - 1

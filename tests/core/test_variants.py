@@ -1,0 +1,126 @@
+"""Tests for the Appendix A califorms-4B and califorms-1B L1 variants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitvector as bv
+from repro.core.line_formats import LINE_SIZE, BitvectorLine
+from repro.core.variants import (
+    CHUNK_SIZE,
+    CHUNKS_PER_LINE,
+    Califorms1BLine,
+    Califorms4BLine,
+    decode_1b,
+    decode_4b,
+    encode_1b,
+    encode_4b,
+)
+
+line_data = st.binary(min_size=LINE_SIZE, max_size=LINE_SIZE)
+security_sets = st.sets(st.integers(min_value=0, max_value=63), max_size=64)
+
+
+def build(data, indices):
+    return BitvectorLine(bytearray(data), bv.mask_from_indices(indices))
+
+
+class TestGeometry:
+    def test_chunk_geometry(self):
+        assert CHUNK_SIZE == 8
+        assert CHUNKS_PER_LINE == 8
+
+    def test_metadata_budgets_match_paper(self):
+        # Figure 14: 4 bits x 8 chunks = 4B; Figure 15: 1 bit x 8 = 1B.
+        line = build(bytes(LINE_SIZE), [0])
+        assert encode_4b(line).metadata_bits == 32
+        assert encode_1b(line).metadata_bits == 8
+
+    def test_4b_rejects_wrong_shapes(self):
+        with pytest.raises(ValueError):
+            Califorms4BLine(b"x", 0, (0,) * 8)
+        with pytest.raises(ValueError):
+            Califorms4BLine(bytes(LINE_SIZE), 0, (0,) * 3)
+
+    def test_1b_rejects_wrong_shapes(self):
+        with pytest.raises(ValueError):
+            Califorms1BLine(b"x", 0)
+
+
+class TestCaliforms4B:
+    def test_clean_line_has_no_califormed_chunks(self):
+        encoded = encode_4b(build(range(LINE_SIZE), []))
+        assert encoded.chunk_califormed == 0
+
+    def test_vector_stored_in_first_security_byte(self):
+        # Chunk 0 bytes 2 and 5 are security: vector goes to byte 2.
+        line = build(range(LINE_SIZE), [2, 5])
+        encoded = encode_4b(line)
+        assert encoded.chunk_califormed == 0b1
+        assert encoded.vector_slot[0] == 2
+        assert encoded.raw[2] == 0b100100  # mask for bytes {2, 5}
+
+    def test_other_chunks_untouched(self):
+        line = build(range(LINE_SIZE), [2])
+        encoded = encode_4b(line)
+        assert encoded.raw[8:] == bytes(range(8, LINE_SIZE))
+
+    def test_roundtrip_example(self):
+        line = build(range(LINE_SIZE), [2, 5, 17, 63])
+        restored = decode_4b(encode_4b(line))
+        assert restored.secmask == line.secmask
+        assert bytes(restored.data) == bytes(line.data)
+
+    @settings(max_examples=200)
+    @given(line_data, security_sets)
+    def test_roundtrip_property(self, data, indices):
+        line = build(data, indices)
+        restored = decode_4b(encode_4b(line))
+        assert restored.secmask == line.secmask
+        assert bytes(restored.data) == bytes(line.data)
+
+
+class TestCaliforms1B:
+    def test_header_security_byte_hosts_vector(self):
+        # Byte 0 of chunk 0 is itself a security byte.
+        line = build(range(LINE_SIZE), [0, 3])
+        encoded = encode_1b(line)
+        assert encoded.chunk_califormed == 0b1
+        assert encoded.raw[0] == 0b1001  # vector for bytes {0, 3}
+
+    def test_regular_header_parked_in_last_security_byte(self):
+        # Byte 0 is regular data (value 0xAB); security bytes at 3 and 6.
+        data = bytearray(range(LINE_SIZE))
+        data[0] = 0xAB
+        line = BitvectorLine(data, bv.mask_from_indices([3, 6]))
+        encoded = encode_1b(line)
+        assert encoded.raw[6] == 0xAB  # parked in last security byte
+        assert encoded.raw[0] == 0b1001000  # vector for bytes {3, 6}
+        restored = decode_1b(encoded)
+        assert restored.data[0] == 0xAB
+        assert restored.secmask == line.secmask
+
+    def test_single_security_header_byte(self):
+        line = build(range(LINE_SIZE), [8])  # chunk 1, byte 0 of the chunk
+        restored = decode_1b(encode_1b(line))
+        assert restored.secmask == line.secmask
+        assert bytes(restored.data) == bytes(line.data)
+
+    @settings(max_examples=200)
+    @given(line_data, security_sets)
+    def test_roundtrip_property(self, data, indices):
+        line = build(data, indices)
+        restored = decode_1b(encode_1b(line))
+        assert restored.secmask == line.secmask
+        assert bytes(restored.data) == bytes(line.data)
+
+
+@settings(max_examples=100)
+@given(line_data, security_sets)
+def test_variants_agree_with_each_other(data, indices):
+    """All three L1 encodings describe the same logical line."""
+    line = build(data, indices)
+    via_4b = decode_4b(encode_4b(line))
+    via_1b = decode_1b(encode_1b(line))
+    assert via_4b.secmask == via_1b.secmask == line.secmask
+    assert bytes(via_4b.data) == bytes(via_1b.data) == bytes(line.data)

@@ -1,0 +1,104 @@
+"""Tests for the functional CPU, exception delivery and whitelisting."""
+
+import pytest
+
+from repro.core.cform import CformRequest
+from repro.core.exceptions import CformUsageError, SecurityByteAccess
+from repro.cpu.core import Cpu, ExceptionMaskRegisters
+from repro.cpu.isa import Program, alu, cform, load, store
+
+
+@pytest.fixture
+def cpu():
+    return Cpu()
+
+
+class TestBasicExecution:
+    def test_store_then_load(self, cpu):
+        cpu.execute(store(0x100, b"hi"))
+        assert cpu.execute(load(0x100, 2)) == b"hi"
+
+    def test_counters(self, cpu):
+        program = Program()
+        program.extend(
+            [store(0, b"a"), load(0, 1), alu(5), cform(CformRequest.set_bytes(64, [0]))]
+        )
+        counters = cpu.run(program)
+        assert counters.instructions == 8
+        assert counters.loads == 1
+        assert counters.stores == 1
+        assert counters.cforms == 1
+        assert counters.alu_ops == 5
+
+
+class TestExceptionDelivery:
+    def test_load_violation_raises_precisely(self, cpu):
+        cpu.execute(cform(CformRequest.set_bytes(0, [3])))
+        with pytest.raises(SecurityByteAccess) as excinfo:
+            cpu.execute(load(3, 1))
+        assert excinfo.value.address == 3
+        assert cpu.counters.exceptions_raised == 1
+
+    def test_store_violation_raises(self, cpu):
+        cpu.execute(cform(CformRequest.set_bytes(0, [3])))
+        with pytest.raises(SecurityByteAccess):
+            cpu.execute(store(3, b"x"))
+
+    def test_cform_misuse_raises(self, cpu):
+        cpu.execute(cform(CformRequest.set_bytes(0, [3])))
+        with pytest.raises(CformUsageError):
+            cpu.execute(cform(CformRequest.set_bytes(0, [3])))
+
+
+class TestWhitelisting:
+    def test_whitelisted_region_suppresses(self, cpu):
+        cpu.execute(cform(CformRequest.set_bytes(0, [3])))
+        with cpu.whitelisted() as masks:
+            value = cpu.execute(load(0, 8))  # crosses the security byte
+        assert value[3] == 0
+        assert cpu.counters.exceptions_suppressed == 1
+        assert len(masks.suppressed) == 1
+
+    def test_exception_resumes_after_region(self, cpu):
+        cpu.execute(cform(CformRequest.set_bytes(0, [3])))
+        with cpu.whitelisted():
+            cpu.execute(load(3, 1))
+        with pytest.raises(SecurityByteAccess):
+            cpu.execute(load(3, 1))
+
+    def test_nested_whitelists(self, cpu):
+        cpu.execute(cform(CformRequest.set_bytes(0, [3])))
+        with cpu.whitelisted():
+            with cpu.whitelisted():
+                cpu.execute(load(3, 1))
+            cpu.execute(load(3, 1))  # still masked at depth 1
+        assert cpu.counters.exceptions_suppressed == 2
+
+    def test_whitelisted_cform_misuse_suppressed(self, cpu):
+        cpu.execute(cform(CformRequest.set_bytes(0, [3])))
+        with cpu.whitelisted():
+            cpu.execute(cform(CformRequest.set_bytes(0, [3])))
+        assert cpu.counters.exceptions_suppressed == 1
+
+    def test_mask_underflow_rejected(self):
+        masks = ExceptionMaskRegisters()
+        with pytest.raises(RuntimeError):
+            masks.exit_whitelist()
+
+    def test_whitelist_restored_after_exception(self, cpu):
+        # The context manager must unwind the mask even if user code raises.
+        with pytest.raises(RuntimeError):
+            with cpu.whitelisted():
+                raise RuntimeError("user error")
+        assert not cpu.masks.masked
+
+
+class TestTemporalSemantics:
+    def test_freed_then_califormed_memory_traps(self, cpu):
+        """The clean-before-use discipline: freed region stays blacklisted."""
+        cpu.execute(store(0x200, b"live"))
+        cpu.execute(
+            cform(CformRequest.set_bytes(0x200, [0, 1, 2, 3]))
+        )  # "free" blacklists it
+        with pytest.raises(SecurityByteAccess):
+            cpu.execute(load(0x200, 4))  # use-after-free detected

@@ -1,0 +1,60 @@
+"""Unit tests for the instruction forms and Program container."""
+
+import pytest
+
+from repro.core.cform import CformRequest
+from repro.cpu.isa import Opcode, Program, alu, cform, load, nop, store
+
+
+class TestFactories:
+    def test_load(self):
+        instruction = load(0x100, 8)
+        assert instruction.opcode is Opcode.LOAD
+        assert instruction.address == 0x100
+        assert instruction.size == 8
+        assert instruction.is_memory
+
+    def test_load_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            load(0, 0)
+
+    def test_store_copies_data(self):
+        data = bytearray(b"ab")
+        instruction = store(0, data)
+        data[0] = 0
+        assert instruction.data == b"ab"
+
+    def test_store_rejects_empty(self):
+        with pytest.raises(ValueError):
+            store(0, b"")
+
+    def test_cform_records_line_address(self):
+        request = CformRequest.set_bytes(128, [1])
+        instruction = cform(request)
+        assert instruction.address == 128
+        assert instruction.is_memory
+
+    def test_alu_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            alu(0)
+
+    def test_nop_is_not_memory(self):
+        assert not nop().is_memory
+
+
+class TestProgram:
+    def test_counts(self):
+        program = Program()
+        program.append(load(0, 1))
+        program.append(store(0, b"x"))
+        program.append(alu(10))
+        program.append(cform(CformRequest.set_bytes(0, [1])))
+        assert len(program) == 4
+        assert program.instruction_count() == 13  # 1 + 1 + 10 + 1
+        assert program.memory_operation_count() == 3
+        assert program.cform_count() == 1
+
+    def test_extend_and_iter(self):
+        program = Program()
+        program.extend([nop(), nop()])
+        assert [i.opcode for i in program] == [Opcode.NOP, Opcode.NOP]

@@ -1,0 +1,108 @@
+"""Tests for the Section 5.3 LSQ rules: CFORM never forwards, marks faults."""
+
+import pytest
+
+from repro.core.cform import CformRequest
+from repro.core.exceptions import AccessKind
+from repro.cpu.lsq import LoadStoreQueue
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def lsq():
+    return LoadStoreQueue(MemoryHierarchy())
+
+
+class TestPlainForwarding:
+    def test_store_forwards_to_younger_load(self, lsq):
+        lsq.issue_store(0x100, b"\xaa\xbb")
+        result = lsq.issue_load(0x100, 2)
+        assert result.value == b"\xaa\xbb"
+        assert result.forwarded_bytes == 2
+        assert result.record is None
+
+    def test_partial_overlap_forwards_partially(self, lsq):
+        lsq.issue_store(0x102, b"\xcc")
+        result = lsq.issue_load(0x100, 4)
+        assert result.value == b"\x00\x00\xcc\x00"
+        assert result.forwarded_bytes == 1
+
+    def test_youngest_store_wins(self, lsq):
+        lsq.issue_store(0x100, b"\x01")
+        lsq.issue_store(0x100, b"\x02")
+        assert lsq.issue_load(0x100, 1).value == b"\x02"
+
+    def test_load_with_no_match_reads_memory(self, lsq):
+        lsq.hierarchy.store_or_raise(0x200, b"mem")
+        result = lsq.issue_load(0x200, 3)
+        assert result.value == b"mem"
+        assert result.forwarded_bytes == 0
+
+
+class TestCformRules:
+    def test_cform_never_forwards_returns_zero(self, lsq):
+        # Underlying memory holds non-zero data; CFORM in flight for byte 0.
+        lsq.hierarchy.store_or_raise(0x140, b"\xff")
+        lsq.issue_cform(CformRequest.set_bytes(0x140, [0]))
+        result = lsq.issue_load(0x140, 1)
+        assert result.value == b"\x00"  # zero, not 0xff, not "the CFORM value"
+        assert result.cform_match
+        assert result.record is not None
+        assert result.record.kind is AccessKind.LOAD
+        assert "in-flight CFORM" in result.record.detail
+
+    def test_cform_match_is_confirmed_by_mask(self, lsq):
+        # Same line, but the CFORM mask does not cover the loaded byte:
+        # the line-address match is rejected by the mask confirmation.
+        lsq.hierarchy.store_or_raise(0x141, b"\x7f")
+        lsq.issue_cform(CformRequest.set_bytes(0x140, [0]))
+        result = lsq.issue_load(0x141, 1)
+        assert not result.cform_match
+        assert result.value == b"\x7f"
+
+    def test_younger_store_marked_on_cform_match(self, lsq):
+        lsq.issue_cform(CformRequest.set_bytes(0x140, [2]))
+        record = lsq.check_store_against_cforms(0x142, b"z")
+        assert record is not None
+        assert record.kind is AccessKind.STORE
+
+    def test_store_not_marked_without_mask_overlap(self, lsq):
+        lsq.issue_cform(CformRequest.set_bytes(0x140, [2]))
+        assert lsq.check_store_against_cforms(0x143, b"z") is None
+
+    def test_different_line_no_match(self, lsq):
+        lsq.issue_cform(CformRequest.set_bytes(0x140, [0]))
+        result = lsq.issue_load(0x180, 1)
+        assert not result.cform_match
+
+
+class TestCommit:
+    def test_commit_applies_in_program_order(self, lsq):
+        lsq.issue_store(0x100, b"\x01")
+        lsq.issue_store(0x100, b"\x02")
+        lsq.drain()
+        assert lsq.hierarchy.load_or_raise(0x100, 1) == b"\x02"
+
+    def test_commit_oldest_pops_one(self, lsq):
+        lsq.issue_store(0x100, b"\x01")
+        lsq.issue_store(0x104, b"\x02")
+        lsq.commit_oldest()
+        assert len(lsq) == 1
+        assert lsq.hierarchy.load_or_raise(0x100, 1) == b"\x01"
+
+    def test_commit_empty_raises(self, lsq):
+        with pytest.raises(IndexError):
+            lsq.commit_oldest()
+
+    def test_cform_commit_blacklists_memory(self, lsq):
+        lsq.issue_cform(CformRequest.set_bytes(0x140, [1]))
+        lsq.drain()
+        _, records = lsq.hierarchy.load(0x141, 1)
+        assert len(records) == 1
+
+    def test_store_to_blacklisted_memory_reports_at_commit(self, lsq):
+        lsq.hierarchy.cform(CformRequest.set_bytes(0x1C0, [0]))
+        lsq.issue_store(0x1C0, b"!")
+        records = lsq.drain()
+        assert len(records) == 1
+        assert records[0].kind is AccessKind.STORE

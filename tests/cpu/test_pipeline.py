@@ -1,0 +1,87 @@
+"""Tests for the analytical pipeline timing model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ConfigurationError
+from repro.cpu.pipeline import MemoryEventCounts, PipelineModel
+from repro.memory.hierarchy import WESTMERE
+
+
+def events(l1=1000, m1=100, m2=10, m3=1):
+    return MemoryEventCounts(l1, m1, m2, m3)
+
+
+class TestValidation:
+    def test_rejects_increasing_counts(self):
+        with pytest.raises(ConfigurationError):
+            MemoryEventCounts(10, 20, 0, 0)
+        with pytest.raises(ConfigurationError):
+            MemoryEventCounts(10, 5, 6, 0)
+
+    def test_rejects_bad_model_params(self):
+        with pytest.raises(ConfigurationError):
+            PipelineModel(WESTMERE, base_cpi=0)
+        with pytest.raises(ConfigurationError):
+            PipelineModel(WESTMERE, overlap=0.5)
+
+
+class TestCycles:
+    def test_no_misses_means_no_stalls(self):
+        model = PipelineModel(WESTMERE)
+        assert model.memory_stall_cycles(events(m1=0, m2=0, m3=0)) == 0
+
+    def test_stall_composition(self):
+        model = PipelineModel(WESTMERE, overlap=1.0)
+        stalls = model.memory_stall_cycles(events(m1=10, m2=5, m3=2))
+        expected = 10 * WESTMERE.l2_latency + 5 * WESTMERE.l3_latency + (
+            2 * WESTMERE.dram_latency
+        )
+        assert stalls == expected
+
+    def test_overlap_divides_stalls(self):
+        fast = PipelineModel(WESTMERE, overlap=4.0)
+        slow = PipelineModel(WESTMERE, overlap=1.0)
+        assert fast.memory_stall_cycles(events()) == pytest.approx(
+            slow.memory_stall_cycles(events()) / 4
+        )
+
+    def test_extra_latency_inflates_stalls(self):
+        plain = PipelineModel(WESTMERE)
+        bumped = PipelineModel(WESTMERE.with_extra_latency(1))
+        assert bumped.memory_stall_cycles(events()) > plain.memory_stall_cycles(
+            events()
+        )
+
+
+class TestSlowdown:
+    def test_identical_runs_have_zero_slowdown(self):
+        model = PipelineModel(WESTMERE)
+        assert model.slowdown(10_000, events(), 10_000, events()) == pytest.approx(0.0)
+
+    def test_extra_instructions_slow_down(self):
+        model = PipelineModel(WESTMERE)
+        slowdown = model.slowdown(10_000, events(), 11_000, events())
+        assert slowdown > 0
+
+    def test_figure10_style_config_change(self):
+        model = PipelineModel(WESTMERE)
+        slowdown = model.slowdown(
+            10_000,
+            events(),
+            10_000,
+            events(),
+            variant_config=WESTMERE.with_extra_latency(1),
+        )
+        assert 0 < slowdown < 0.05  # small single-cycle effect
+
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_more_misses_never_speed_up(self, instructions, extra_misses):
+        model = PipelineModel(WESTMERE)
+        base = events(l1=20_000, m1=1000, m2=100, m3=10)
+        worse = MemoryEventCounts(20_000, 1000 + extra_misses, 100, 10)
+        assert model.slowdown(instructions, base, instructions, worse) >= 0

@@ -1,0 +1,101 @@
+"""Tests for the speculative side-channel model (Section 7.2)."""
+
+import pytest
+
+from repro.core.cform import CformRequest
+from repro.cpu.speculation import (
+    SpeculativeWindow,
+    padding_probe_attack,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    h = MemoryHierarchy()
+    h.store_or_raise(0x1000, bytes([0x55] * 32))
+    h.cform(CformRequest.set_bytes(0x1000, [10, 11]))
+    return h
+
+
+class TestSpeculativeWindow:
+    def test_security_byte_reads_zero_without_fault(self, hierarchy):
+        window = SpeculativeWindow(hierarchy)
+        value = window.load(0x1000 + 10, 1)
+        assert value == b"\x00"  # pre-determined zero, no exception raised
+
+    def test_regular_byte_reads_data(self, hierarchy):
+        window = SpeculativeWindow(hierarchy)
+        assert window.load(0x1000, 1) == b"\x55"
+
+    def test_squash_discards_pending_faults(self, hierarchy):
+        window = SpeculativeWindow(hierarchy)
+        window.load(0x1000 + 10, 1)
+        assert window.squash() == 1
+        assert window.commit() == []  # nothing left to fault
+
+    def test_commit_delivers_precise_faults(self, hierarchy):
+        window = SpeculativeWindow(hierarchy)
+        window.load(0x1000 + 10, 1)
+        records = window.commit()
+        assert len(records) == 1
+        assert records[0].byte_indices == (10,)
+
+    def test_clean_commit_is_silent(self, hierarchy):
+        window = SpeculativeWindow(hierarchy)
+        window.load(0x1000, 4)
+        assert window.commit() == []
+
+    def test_window_depth_bounded(self, hierarchy):
+        window = SpeculativeWindow(hierarchy, depth=2)
+        window.load(0x1000, 1)
+        window.load(0x1001, 1)
+        with pytest.raises(RuntimeError):
+            window.load(0x1002, 1)
+
+
+class TestPaddingProbeAttack:
+    """The exact scenario of Section 7.2's side-channel discussion."""
+
+    def test_zero_on_free_closes_the_channel(self, hierarchy):
+        result = padding_probe_attack(
+            hierarchy,
+            suspected_offsets=[8, 9, 10, 11, 12],
+            base_address=0x1000,
+            previous_contents_nonzero=True,
+            zero_on_free=True,
+        )
+        assert result.zero_reads == 2  # the two security bytes read zero
+        assert not result.information_leaked
+
+    def test_without_zeroing_the_attack_works(self, hierarchy):
+        result = padding_probe_attack(
+            hierarchy,
+            suspected_offsets=[8, 9, 10, 11, 12],
+            base_address=0x1000,
+            previous_contents_nonzero=True,
+            zero_on_free=False,
+        )
+        assert result.inferred_security_bytes == 2  # the leak the paper fixes
+        assert result.information_leaked
+
+    def test_no_faults_ever_observed_speculatively(self, hierarchy):
+        for zero_on_free in (True, False):
+            result = padding_probe_attack(
+                hierarchy,
+                suspected_offsets=[10],
+                base_address=0x1000,
+                previous_contents_nonzero=True,
+                zero_on_free=zero_on_free,
+            )
+            assert result.faults_observed == 0
+
+    def test_unknown_previous_contents_leak_nothing(self, hierarchy):
+        result = padding_probe_attack(
+            hierarchy,
+            suspected_offsets=[10, 11],
+            base_address=0x1000,
+            previous_contents_nonzero=False,
+            zero_on_free=False,
+        )
+        assert not result.information_leaked

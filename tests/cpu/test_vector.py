@@ -1,0 +1,93 @@
+"""Tests for the Appendix B SIMD/vector load alternatives."""
+
+import pytest
+
+from repro.core.cform import CformRequest
+from repro.core.exceptions import SecurityByteAccess
+from repro.cpu.vector import VectorPolicy, VectorRegister, VectorUnit
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    h = MemoryHierarchy()
+    h.store_or_raise(0x1000, bytes(range(64)))
+    # One security byte inside lane 2 (bytes 16..23) of a 64B vector.
+    h.cform(CformRequest.set_bytes(0x1000, [18]))
+    return h
+
+
+class TestPreciseGather:
+    def test_clean_gather_succeeds(self, hierarchy):
+        unit = VectorUnit(hierarchy, VectorPolicy.PRECISE)
+        register = unit.load(0x1000, 64, element_mask=0b11)  # lanes 0-1 only
+        assert register.data[:16] == bytes(range(16))
+        assert register.poison == 0
+
+    def test_disabled_lane_does_not_fault(self, hierarchy):
+        unit = VectorUnit(hierarchy, VectorPolicy.PRECISE)
+        # lane 2 (with the security byte) is masked off: no exception.
+        unit.load(0x1000, 64, element_mask=0b11111011)
+
+    def test_enabled_lane_faults(self, hierarchy):
+        unit = VectorUnit(hierarchy, VectorPolicy.PRECISE)
+        with pytest.raises(SecurityByteAccess):
+            unit.load(0x1000, 64, element_mask=0b100)
+
+
+class TestFaultOnAny:
+    def test_faults_even_for_disabled_lane(self, hierarchy):
+        unit = VectorUnit(hierarchy, VectorPolicy.FAULT_ON_ANY)
+        with pytest.raises(SecurityByteAccess):
+            unit.load(0x1000, 64, element_mask=0b11)  # lane 2 not wanted
+        assert unit.false_positive_candidates == 1
+
+    def test_true_positive_not_counted_as_false(self, hierarchy):
+        unit = VectorUnit(hierarchy, VectorPolicy.FAULT_ON_ANY)
+        with pytest.raises(SecurityByteAccess):
+            unit.load(0x1000, 64)  # all lanes wanted: genuine detection
+        assert unit.false_positive_candidates == 0
+
+    def test_clean_load(self, hierarchy):
+        unit = VectorUnit(hierarchy, VectorPolicy.FAULT_ON_ANY)
+        register = unit.load(0x1000 + 32, 32)
+        assert register.data == bytes(range(32, 64))
+
+
+class TestPropagate:
+    def test_load_never_faults(self, hierarchy):
+        unit = VectorUnit(hierarchy, VectorPolicy.PROPAGATE)
+        register = unit.load(0x1000, 64)
+        assert register.poison != 0
+
+    def test_poisoned_byte_reads_zero(self, hierarchy):
+        unit = VectorUnit(hierarchy, VectorPolicy.PROPAGATE)
+        register = unit.load(0x1000, 64)
+        assert register.data[18] == 0  # speculative-safety zero
+
+    def test_consuming_clean_lane_succeeds(self, hierarchy):
+        unit = VectorUnit(hierarchy, VectorPolicy.PROPAGATE)
+        register = unit.load(0x1000, 64)
+        assert register.lane(0) == bytes(range(8))
+
+    def test_consuming_poisoned_lane_faults(self, hierarchy):
+        unit = VectorUnit(hierarchy, VectorPolicy.PROPAGATE)
+        register = unit.load(0x1000, 64)
+        with pytest.raises(SecurityByteAccess):
+            register.lane(2)  # bytes 16..23 include the security byte
+
+    def test_lane_bounds_checked(self):
+        register = VectorRegister(bytes(16), 0)
+        with pytest.raises(IndexError):
+            register.lane(2)
+
+
+class TestValidation:
+    def test_register_width_validated(self):
+        with pytest.raises(ValueError):
+            VectorUnit(MemoryHierarchy(), register_bytes=12)
+
+    def test_overwide_load_rejected(self, hierarchy):
+        unit = VectorUnit(hierarchy, register_bytes=32)
+        with pytest.raises(ValueError):
+            unit.load(0x1000, 64)

@@ -1,0 +1,138 @@
+"""Shape tests for every experiment driver (quick scales)."""
+
+import pytest
+
+from repro.experiments import (
+    fig03_struct_density,
+    fig04_padding_sweep,
+    fig10_extra_latency,
+    fig11_policies,
+    fig12_intelligent,
+    sec7_derandomization,
+    tables,
+)
+
+QUICK = 30_000
+SMALL_SET = ["hmmer", "gobmk", "mcf", "perlbench"]
+
+
+class TestFig3:
+    def test_padded_fractions_near_paper(self):
+        results = fig03_struct_density.run()
+        assert abs(results["spec"].padded_fraction - 0.457) < 0.05
+        assert abs(results["v8"].padded_fraction - 0.410) < 0.05
+
+    def test_histograms_normalised(self):
+        results = fig03_struct_density.run()
+        for census in results.values():
+            assert sum(census.histogram) == pytest.approx(1.0)
+
+    def test_render(self):
+        text = fig03_struct_density.render(fig03_struct_density.run())
+        assert "paper 0.457" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig04_padding_sweep.run(
+            instructions=QUICK, benchmarks=SMALL_SET, sizes=(1, 4, 7)
+        )
+
+    def test_positive_slowdowns(self, result):
+        for average in result.averages().values():
+            assert average > 0
+
+    def test_larger_padding_costs_more(self, result):
+        averages = result.averages()
+        assert averages[7] > averages[1]
+
+    def test_render(self, result):
+        assert "Figure 4" in fig04_padding_sweep.render(result)
+
+
+class TestFig10:
+    def test_all_positive_and_small(self):
+        result = fig10_extra_latency.run(instructions=QUICK, benchmarks=SMALL_SET)
+        for entry in result.per_benchmark:
+            assert 0 < entry.mean < 0.06
+
+    def test_compute_bound_least_affected(self):
+        result = fig10_extra_latency.run(
+            instructions=QUICK, benchmarks=["hmmer", "mcf"]
+        )
+        assert result.benchmark("hmmer").mean < result.benchmark("mcf").mean
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_policies.run(instructions=QUICK, benchmarks=SMALL_SET)
+
+    def test_seven_configurations(self, result):
+        assert len(result.configurations) == 7
+
+    def test_cform_costs_more_than_layout_alone(self, result):
+        averages = result.averages()
+        assert averages["full 1-7B +CFORM"] > averages["full 1-7B"]
+
+    def test_render_mentions_outliers(self, result):
+        assert "outliers" in fig11_policies.render(result)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_intelligent.run(instructions=QUICK, benchmarks=SMALL_SET)
+
+    def test_intelligent_cheaper_than_full(self, result):
+        fig11_result = fig11_policies.run(instructions=QUICK, benchmarks=SMALL_SET)
+        assert (
+            result.averages()["intelligent 1-7B"]
+            < fig11_result.averages()["full 1-7B"]
+        )
+
+    def test_gobmk_is_the_cform_outlier(self, result):
+        suite = result.configurations["intelligent 1-7B +CFORM"]
+        gobmk = suite.benchmark("gobmk").mean
+        assert gobmk == max(entry.mean for entry in suite.per_benchmark)
+
+
+class TestTables:
+    def test_table1_matches_kmap(self):
+        rows = tables.table1_kmap()
+        outcomes = {
+            (row["initial"], row["operation"]): row["outcome"] for row in rows
+        }
+        assert outcomes[("Regular Byte", "Set, Allow")] == "Security Byte"
+        assert outcomes[("Regular Byte", "Unset, Allow")] == "Exception"
+        assert outcomes[("Security Byte", "Set, Allow")] == "Exception"
+        assert outcomes[("Security Byte", "Unset, Allow")] == "Regular Byte"
+        assert outcomes[("Security Byte", "X, Disallow")] == "Security Byte"
+        assert outcomes[("Regular Byte", "X, Disallow")] == "Regular Byte"
+
+    def test_renders(self):
+        assert "Table 1" in tables.render_table1()
+        assert "Table 2" in tables.render_table2()
+        assert "32KB" in tables.render_table3()
+        assert "Table 7" in tables.render_table7()
+        combined = tables.render_tables456()
+        assert "Table 4" in combined and "Califorms" in combined
+        assert "DETECT" in combined
+
+
+class TestSection7:
+    def test_analytic_curves(self):
+        result = sec7_derandomization.run(trials=50)
+        assert result.scan_curve[250] < 1e-11
+        assert result.guess_curve[3] == pytest.approx(1 / 343)
+
+    def test_simulations_bounded(self):
+        result = sec7_derandomization.run(trials=50)
+        assert 0 <= result.simulated_scan_success <= 1
+        assert 0 <= result.simulated_guess_success <= 0.05
+
+    def test_render(self):
+        assert "derandomization" in sec7_derandomization.render(
+            sec7_derandomization.run(trials=20)
+        )

@@ -1,0 +1,164 @@
+"""Full-stack integration tests: runtime + hierarchy + allocator + OS.
+
+These tie the layers together the way the examples do, and additionally
+check that the *abstract* Califorms detection model used in the scheme
+comparison agrees with what the simulated hardware actually raises.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.califorms_model import CaliformsModel
+from repro.core.exceptions import SecurityByteAccess
+from repro.memory.swap import SwapManager
+from repro.softstack.ctypes_model import (
+    CHAR,
+    INT,
+    LISTING_1_STRUCT_A,
+    Array,
+    struct,
+)
+from repro.softstack.insertion import Policy
+from repro.softstack.runtime import Process
+
+
+def make_process(**kwargs):
+    kwargs.setdefault("policy", Policy.FULL)
+    kwargs.setdefault("seed", 3)
+    kwargs.setdefault("heap_size", 1 << 14)
+    return Process(**kwargs)
+
+
+class TestHardwareVsAbstractModel:
+    """The RegionSet-based CaliformsModel and the real simulator must make
+    the same detection decisions for the same object layout."""
+
+    def test_agreement_on_probe_grid(self):
+        process = make_process()
+        handle = process.new(LISTING_1_STRUCT_A)
+        layout = handle.layout
+        model = CaliformsModel()
+        tracked = model.on_alloc(
+            handle.address,
+            layout.size,
+            intra_spans=tuple((s.offset, s.size) for s in layout.spans),
+        )
+        for offset in range(0, layout.size - 1):
+            address = handle.address + offset
+            abstract = model.check_access(tracked, address, 1, False) is not None
+            try:
+                process.raw_read(address, 1)
+                hardware = False
+            except SecurityByteAccess:
+                hardware = True
+            assert hardware == abstract, f"disagreement at offset {offset}"
+
+
+class TestSwapIntegration:
+    def test_protection_survives_page_swap(self):
+        process = make_process()
+        handle = process.new(LISTING_1_STRUCT_A)
+        span = handle.layout.spans[0]
+        span_address = handle.address + span.offset
+
+        # Push everything to DRAM, swap the page out and back in.
+        hierarchy = process.cpu.hierarchy
+        hierarchy.flush_all()
+        swap = SwapManager(hierarchy.dram)
+        swap.swap_out(handle.address)
+        assert swap.is_swapped(handle.address)
+        swap.swap_in(handle.address)
+
+        with pytest.raises(SecurityByteAccess):
+            process.raw_read(span_address, 1)
+
+    def test_data_survives_page_swap(self):
+        process = make_process()
+        handle = process.new(LISTING_1_STRUCT_A)
+        process.write_field(handle, "i", b"\x11\x22\x33\x44")
+        hierarchy = process.cpu.hierarchy
+        hierarchy.flush_all()
+        swap = SwapManager(hierarchy.dram)
+        swap.swap_out(handle.address)
+        swap.swap_in(handle.address)
+        assert process.read_field(handle, "i") == b"\x11\x22\x33\x44"
+
+
+class TestEvictionPressure:
+    def test_protection_survives_cache_thrashing(self):
+        process = make_process()
+        handle = process.new(LISTING_1_STRUCT_A)
+        span = handle.layout.spans[0]
+        # Thrash the hierarchy with unrelated traffic.
+        for index in range(2048):
+            process.cpu.hierarchy.store(0x500000 + index * 64, b"x")
+        with pytest.raises(SecurityByteAccess):
+            process.raw_read(handle.address + span.offset, 1)
+
+    def test_field_data_survives_thrashing(self):
+        process = make_process()
+        handle = process.new(LISTING_1_STRUCT_A)
+        process.write_field(handle, "d", b"12345678")
+        for index in range(2048):
+            process.cpu.hierarchy.store(0x500000 + index * 64, b"x")
+        assert process.read_field(handle, "d") == b"12345678"
+
+
+class TestWhitelistedCopySemantics:
+    def test_struct_assignment_via_memcpy(self):
+        process = make_process()
+        source = process.new(LISTING_1_STRUCT_A)
+        target = process.new("A")
+        process.write_field(source, "c", b"\x41")
+        process.write_field(source, "d", b"\x01" * 8)
+        process.memcpy(target.address, source.address, source.layout.size)
+        assert process.read_field(target, "c") == b"\x41"
+        assert process.read_field(target, "d") == b"\x01" * 8
+        # No privileged exception escaped to the program.
+        assert process.cpu.counters.exceptions_raised == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    operations=st.lists(
+        st.sampled_from(["alloc", "free", "read", "write"]),
+        min_size=5,
+        max_size=40,
+    ),
+    data=st.data(),
+)
+def test_allocator_fuzz_invariants(operations, data):
+    """Random malloc/free/access interleavings preserve the safety
+    invariants: live fields are accessible, span bytes and freed objects
+    always trap."""
+    process = make_process(heap_size=1 << 13)
+    small = struct("Node", ("next", INT), ("payload", Array(CHAR, 24)))
+    process.declare(small)
+    live = []
+    for operation in operations:
+        if operation == "alloc":
+            try:
+                live.append(process.new("Node"))
+            except Exception:
+                pass  # heap exhaustion is fine under fuzz
+        elif operation == "free" and live:
+            victim = live.pop(data.draw(st.integers(0, len(live) - 1)))
+            address = victim.address
+            process.delete(victim)
+            with pytest.raises(SecurityByteAccess):
+                process.raw_read(
+                    address + victim.layout.offset_of("next"), 4
+                )
+        elif operation == "read" and live:
+            handle = live[data.draw(st.integers(0, len(live) - 1))]
+            process.read_field(handle, "payload")
+        elif operation == "write" and live:
+            handle = live[data.draw(st.integers(0, len(live) - 1))]
+            process.write_field(handle, "payload", b"z" * 24)
+    # All remaining live objects still work and their spans still trap.
+    for handle in live:
+        process.read_field(handle, "next")
+        for span in handle.layout.spans:
+            with pytest.raises(SecurityByteAccess):
+                process.raw_read(handle.address + span.offset, 1)

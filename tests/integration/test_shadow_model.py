@@ -1,0 +1,162 @@
+"""Differential fuzzing: the full hierarchy vs a flat shadow model.
+
+The shadow model is the trivially-correct specification: a byte array
+plus a set of blacklisted addresses.  Random interleavings of CFORM,
+store and load operations — over a hierarchy small enough that lines
+constantly spill through the sentinel codec and back — must behave
+identically: same data, same security decisions, same K-map faults.
+This is the strongest end-to-end statement that the format conversions
+never lose or corrupt state.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitvector as bv
+from repro.core.cform import CformRequest
+from repro.core.exceptions import CformUsageError
+from repro.memory.cache import CacheGeometry
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+
+_SPAN = 16 * 64  # the fuzzed address range: 16 lines
+
+
+def tiny_hierarchy() -> MemoryHierarchy:
+    return MemoryHierarchy(
+        HierarchyConfig(
+            l1_geometry=CacheGeometry(2 * 64, 1),  # evicts constantly
+            l2_geometry=CacheGeometry(4 * 64, 2),
+            l3_geometry=CacheGeometry(8 * 64, 2),
+        )
+    )
+
+
+class ShadowModel:
+    """Flat-memory specification of the Califorms semantics."""
+
+    def __init__(self):
+        self.data = bytearray(_SPAN)
+        self.blacklist: set[int] = set()
+
+    def cform(self, request: CformRequest) -> bool:
+        """Apply the K-map; returns True when it must fault."""
+        base = request.line_address
+        changes = []
+        for index in bv.iter_set_bits(request.mask):
+            address = base + index
+            want = bv.test_bit(request.attributes, index)
+            have = address in self.blacklist
+            if want == have:
+                return True  # set-on-security or unset-on-regular
+            changes.append((address, want))
+        for address, want in changes:
+            self.data[address] = 0
+            if want:
+                self.blacklist.add(address)
+            else:
+                self.blacklist.discard(address)
+        return False
+
+    def store(self, address: int, payload: bytes) -> bool:
+        """Returns True when the store must fault (and not commit)."""
+        span = range(address, address + len(payload))
+        if any(a in self.blacklist for a in span):
+            return True
+        self.data[address : address + len(payload)] = payload
+        return False
+
+    def load(self, address: int, size: int) -> tuple[bytes, bool]:
+        span = range(address, address + size)
+        faulted = any(a in self.blacklist for a in span)
+        value = bytes(
+            0 if a in self.blacklist else self.data[a] for a in span
+        )
+        return value, faulted
+
+
+def _random_operations(rng: random.Random, count: int):
+    for _ in range(count):
+        kind = rng.choice(("cform", "store", "load", "load", "store"))
+        if kind == "cform":
+            line = rng.randrange(_SPAN // 64) * 64
+            attributes = rng.getrandbits(64)
+            mask = rng.getrandbits(64) & rng.getrandbits(64)  # sparse-ish
+            yield ("cform", CformRequest(line, attributes=attributes, mask=mask))
+        else:
+            address = rng.randrange(_SPAN - 8)
+            size = rng.randint(1, 8)
+            if address + size > _SPAN:
+                size = _SPAN - address
+            if kind == "store":
+                payload = bytes(rng.randrange(256) for _ in range(size))
+                yield ("store", address, payload)
+            else:
+                yield ("load", address, size)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32))
+def test_hierarchy_matches_shadow_model(seed):
+    rng = random.Random(seed)
+    hierarchy = tiny_hierarchy()
+    shadow = ShadowModel()
+    for operation in _random_operations(rng, 120):
+        if operation[0] == "cform":
+            request = operation[1]
+            expected_fault = shadow.cform(request)
+            if expected_fault:
+                with pytest.raises(CformUsageError):
+                    hierarchy.cform(request)
+            else:
+                hierarchy.cform(request)
+        elif operation[0] == "store":
+            _, address, payload = operation
+            expected_fault = shadow.store(address, payload)
+            records = hierarchy.store(address, payload)
+            assert bool(records) == expected_fault, (seed, operation)
+        else:
+            _, address, size = operation
+            expected_value, expected_fault = shadow.load(address, size)
+            value, records = hierarchy.load(address, size)
+            assert bool(records) == expected_fault, (seed, operation)
+            assert value == expected_value, (seed, operation)
+
+    # Final sweep: after all the churn, every line agrees byte-for-byte.
+    for line_base in range(0, _SPAN, 64):
+        expected_value, expected_fault = shadow.load(line_base, 64)
+        value, records = hierarchy.load(line_base, 64)
+        assert value == expected_value
+        assert bool(records) == expected_fault
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32))
+def test_shadow_agreement_survives_flush(seed):
+    """Same as above but with periodic full flushes to DRAM."""
+    rng = random.Random(seed)
+    hierarchy = tiny_hierarchy()
+    shadow = ShadowModel()
+    for step, operation in enumerate(_random_operations(rng, 60)):
+        if step % 13 == 0:
+            hierarchy.flush_all()
+        if operation[0] == "cform":
+            request = operation[1]
+            if shadow.cform(request):
+                with pytest.raises(CformUsageError):
+                    hierarchy.cform(request)
+            else:
+                hierarchy.cform(request)
+        elif operation[0] == "store":
+            _, address, payload = operation
+            assert bool(hierarchy.store(address, payload)) == shadow.store(
+                address, payload
+            )
+        else:
+            _, address, size = operation
+            expected_value, expected_fault = shadow.load(address, size)
+            value, records = hierarchy.load(address, size)
+            assert value == expected_value
+            assert bool(records) == expected_fault

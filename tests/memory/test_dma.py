@@ -1,0 +1,70 @@
+"""Tests for the DMA bypass model (Section 7.2 heterogeneous attacks)."""
+
+from repro.core.cform import CformRequest
+from repro.memory.dma import DmaEngine
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def califormed_dram():
+    hierarchy = MemoryHierarchy()
+    hierarchy.store_or_raise(0x2000, bytes([0xAA] * 16))
+    hierarchy.cform(CformRequest.set_bytes(0x2000, [4, 5]))
+    hierarchy.flush_all()
+    return hierarchy
+
+
+class TestNaiveDma:
+    def test_bypasses_detection(self):
+        hierarchy = califormed_dram()
+        engine = DmaEngine(hierarchy.dram, respects_califorms=False)
+        transfer = engine.read(0x2000, 16)
+        assert transfer.violations == []  # the Section 7.2 hole
+
+    def test_leaks_sentinel_format(self):
+        hierarchy = califormed_dram()
+        engine = DmaEngine(hierarchy.dram, respects_califorms=False)
+        transfer = engine.read(0x2000, 16)
+        assert transfer.leaked_format_bytes == 16
+        # Raw bytes are the *encoded* line: byte 0 is the header, not 0xAA.
+        assert transfer.data[0] != 0xAA
+
+    def test_uncaliformed_lines_leak_nothing(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.store_or_raise(0x3000, b"plain data here!")
+        hierarchy.flush_all()
+        engine = DmaEngine(hierarchy.dram, respects_califorms=False)
+        transfer = engine.read(0x3000, 16)
+        assert transfer.data == b"plain data here!"
+        assert transfer.leaked_format_bytes == 0
+
+
+class TestAwareDma:
+    def test_detects_security_byte_reads(self):
+        hierarchy = califormed_dram()
+        engine = DmaEngine(hierarchy.dram, respects_califorms=True)
+        transfer = engine.read(0x2000, 16)
+        assert len(transfer.violations) == 1
+        assert transfer.violations[0].byte_indices == (4, 5)
+
+    def test_returns_decoded_view(self):
+        hierarchy = califormed_dram()
+        engine = DmaEngine(hierarchy.dram, respects_califorms=True)
+        transfer = engine.read(0x2000, 16)
+        assert transfer.data[0] == 0xAA  # natural data restored
+        assert transfer.data[4] == 0  # security bytes read as zero
+        assert transfer.leaked_format_bytes == 0
+
+    def test_clean_region_reads_clean(self):
+        hierarchy = califormed_dram()
+        engine = DmaEngine(hierarchy.dram, respects_califorms=True)
+        transfer = engine.read(0x2000 + 8, 8)
+        assert transfer.violations == []
+        assert transfer.data == bytes([0xAA] * 8)
+
+    def test_cross_line_transfer(self):
+        hierarchy = califormed_dram()
+        hierarchy.store_or_raise(0x2040, b"next line")
+        hierarchy.flush_all()
+        engine = DmaEngine(hierarchy.dram, respects_califorms=True)
+        transfer = engine.read(0x2000 + 56, 16)
+        assert transfer.data[8:] == b"next line"[:8]

@@ -1,0 +1,109 @@
+"""Tests for the OS page-swap metadata model (Section 6.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitvector as bv
+from repro.core.line_formats import LINE_SIZE, BitvectorLine, SentinelLine
+from repro.core.sentinel import decode, encode
+from repro.memory.dram import Dram
+from repro.memory.swap import (
+    LINES_PER_PAGE,
+    METADATA_BYTES_PER_PAGE,
+    PAGE_SIZE,
+    SwapManager,
+    page_base,
+)
+
+
+class TestConstants:
+    def test_paper_metadata_arithmetic(self):
+        # Section 6.3: "the metadata for a 4KB page consumes only 8B".
+        assert PAGE_SIZE == 4096
+        assert LINES_PER_PAGE == 64
+        assert METADATA_BYTES_PER_PAGE == 8
+
+    def test_page_base(self):
+        assert page_base(0) == 0
+        assert page_base(4095) == 0
+        assert page_base(4096) == 4096
+        assert page_base(10000) == 8192
+
+
+def califormed_line(indices, fill=0x41):
+    line = BitvectorLine(bytearray([fill] * LINE_SIZE), bv.mask_from_indices(indices))
+    return encode(line)
+
+
+class TestSwapRoundTrip:
+    def test_metadata_survives_swap(self):
+        dram = Dram()
+        dram.write_line(0, califormed_line([5, 6]))
+        dram.write_line(128, califormed_line([0]))
+        dram.write_line(4096, califormed_line([63]))  # different page
+        swap = SwapManager(dram)
+
+        swap.swap_out(0)
+        assert swap.is_swapped(100)
+        assert dram.drop_line(0) is None  # page really left DRAM
+        assert swap.metadata_bytes_in_use() == METADATA_BYTES_PER_PAGE
+
+        swap.swap_in(0)
+        assert decode(dram.read_line(0)).secmask == bv.mask_from_indices([5, 6])
+        assert decode(dram.read_line(128)).secmask == bv.bit(0)
+        assert swap.metadata_bytes_in_use() == 0
+
+    def test_raw_bytes_survive_swap(self):
+        dram = Dram()
+        payload = SentinelLine(bytes(range(64)), False)
+        dram.write_line(64, payload)
+        swap = SwapManager(dram)
+        swap.swap_out(0)
+        swap.swap_in(0)
+        assert dram.read_line(64).raw == payload.raw
+
+    def test_double_swap_out_rejected(self):
+        swap = SwapManager(Dram())
+        swap.swap_out(0)
+        with pytest.raises(ValueError):
+            swap.swap_out(64)  # same page
+
+    def test_swap_in_unknown_page_rejected(self):
+        with pytest.raises(KeyError):
+            SwapManager(Dram()).swap_in(0)
+
+    def test_stats(self):
+        swap = SwapManager(Dram())
+        swap.swap_out(0)
+        swap.swap_in(0)
+        assert swap.stats.pages_out == 1
+        assert swap.stats.pages_in == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=LINES_PER_PAGE - 1),
+            st.sets(st.integers(min_value=0, max_value=63), min_size=0, max_size=8),
+        ),
+        max_size=16,
+        unique_by=lambda pair: pair[0],
+    )
+)
+def test_swap_roundtrip_property(lines):
+    """Arbitrary mixes of califormed/natural lines survive a swap cycle."""
+    dram = Dram()
+    expected = {}
+    for index, indices in lines:
+        line = califormed_line(indices) if indices else SentinelLine.natural()
+        dram.write_line(index * LINE_SIZE, line)
+        expected[index * LINE_SIZE] = line
+    swap = SwapManager(dram)
+    swap.swap_out(0)
+    swap.swap_in(0)
+    for address, line in expected.items():
+        got = dram.read_line(address)
+        assert got.raw == line.raw
+        assert got.califormed == line.califormed

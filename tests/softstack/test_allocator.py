@@ -1,0 +1,164 @@
+"""Tests for the clean-before-use, quarantining Califorms heap."""
+
+import pytest
+
+from repro.core.exceptions import SecurityByteAccess
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.softstack.allocator import Allocation, CaliformsHeap, HeapError
+from repro.softstack.compiler import CompilerConfig, CompilerPass
+from repro.softstack.ctypes_model import CHAR, INT, LISTING_1_STRUCT_A, Array, struct
+from repro.softstack.insertion import Policy
+
+
+def make_heap(size=64 * 64, policy=Policy.FULL, quarantine=0.25):
+    hierarchy = MemoryHierarchy()
+    heap = CaliformsHeap(
+        hierarchy, base=0x10000, size=size, quarantine_fraction=quarantine
+    )
+    compiler = CompilerPass(CompilerConfig(policy=policy, seed=5))
+    return heap, compiler, hierarchy
+
+
+class TestCleanBeforeUse:
+    def test_fresh_arena_is_fully_blacklisted(self):
+        heap, _, hierarchy = make_heap(size=4 * 64)
+        for offset in (0, 63, 128, 255):
+            with pytest.raises(SecurityByteAccess):
+                hierarchy.load_or_raise(0x10000 + offset, 1)
+
+    def test_allocated_data_bytes_become_usable(self):
+        heap, compiler, hierarchy = make_heap()
+        layout = compiler.transform(LISTING_1_STRUCT_A)
+        allocation = heap.malloc(layout)
+        offset = layout.offset_of("i")
+        hierarchy.store_or_raise(allocation.address + offset, b"\x01\x02\x03\x04")
+        value = hierarchy.load_or_raise(allocation.address + offset, 4)
+        assert value == b"\x01\x02\x03\x04"
+
+    def test_security_spans_stay_blacklisted(self):
+        heap, compiler, hierarchy = make_heap()
+        layout = compiler.transform(LISTING_1_STRUCT_A)
+        allocation = heap.malloc(layout)
+        span = layout.spans[0]
+        with pytest.raises(SecurityByteAccess):
+            hierarchy.load_or_raise(allocation.address + span.offset, 1)
+
+    def test_memory_outside_allocations_stays_blacklisted(self):
+        heap, compiler, hierarchy = make_heap()
+        layout = compiler.transform(struct("S", ("x", INT)))
+        allocation = heap.malloc(layout)
+        # One byte past the carved region is still arena: blacklisted.
+        with pytest.raises(SecurityByteAccess):
+            hierarchy.load_or_raise(allocation.address + 16, 1)
+
+
+class TestFreeSemantics:
+    def test_freed_region_is_blacklisted_and_zeroed(self):
+        heap, compiler, hierarchy = make_heap()
+        layout = compiler.transform(struct("S", ("x", INT)))
+        allocation = heap.malloc(layout)
+        field = allocation.address + layout.offset_of("x")
+        hierarchy.store_or_raise(field, b"\xde\xad\xbe\xef")
+        heap.free(allocation)
+        with pytest.raises(SecurityByteAccess):
+            hierarchy.load_or_raise(field, 4)  # use-after-free
+        # The data itself was zeroed (Section 7.2): even a whitelisted
+        # reader sees zeros, not stale secrets.
+        value, _records = hierarchy.load(field, 4)
+        assert value == bytes(4)
+
+    def test_double_free_detected(self):
+        heap, compiler, _ = make_heap()
+        layout = compiler.transform(struct("S", ("x", INT)))
+        allocation = heap.malloc(layout)
+        heap.free(allocation)
+        with pytest.raises(HeapError):
+            heap.free(allocation)
+
+    def test_free_unknown_pointer_rejected(self):
+        heap, _, _ = make_heap()
+        with pytest.raises(HeapError):
+            heap.free(Allocation(address=0xBAD0, size=16))
+
+
+class TestQuarantine:
+    def test_freed_region_not_immediately_reused(self):
+        heap, compiler, _ = make_heap(size=64 * 64, quarantine=0.5)
+        layout = compiler.transform(struct("S", ("x", INT)))
+        first = heap.malloc(layout)
+        first_address = first.address
+        heap.free(first)
+        second = heap.malloc(layout)
+        assert second.address != first_address
+
+    def test_quarantine_drains_under_pressure(self):
+        heap, compiler, _ = make_heap(size=8 * 64, quarantine=0.9)
+        layout = compiler.transform(struct("Buf", ("b", Array(CHAR, 300))))
+        first = heap.malloc(layout)
+        heap.free(first)
+        # Arena only fits one such object at a time: the second malloc
+        # must drain quarantine rather than dying.
+        second = heap.malloc(layout)
+        assert second.address == first.address
+        assert heap.stats.quarantine_releases >= 1
+
+    def test_out_of_memory_raises(self):
+        heap, compiler, _ = make_heap(size=4 * 64)
+        layout = compiler.transform(struct("Big", ("b", Array(CHAR, 1024))))
+        with pytest.raises(HeapError):
+            heap.malloc(layout)
+
+
+class TestRawAllocations:
+    def test_raw_buffer_usable_and_freed(self):
+        heap, _, hierarchy = make_heap()
+        allocation = heap.malloc_raw(100)
+        hierarchy.store_or_raise(allocation.address, b"x" * 100)
+        heap.free(allocation)
+        with pytest.raises(SecurityByteAccess):
+            hierarchy.load_or_raise(allocation.address, 1)
+
+    def test_raw_rejects_nonpositive(self):
+        heap, _, _ = make_heap()
+        with pytest.raises(HeapError):
+            heap.malloc_raw(0)
+
+
+class TestStats:
+    def test_cform_accounting(self):
+        heap, compiler, _ = make_heap(size=16 * 64)
+        arena_cforms = heap.stats.cform_instructions
+        assert arena_cforms == 16  # one per arena line at init
+        layout = compiler.transform(LISTING_1_STRUCT_A)
+        allocation = heap.malloc(layout)
+        lines = (allocation.address + layout.size - 1) // 64 - (
+            allocation.address // 64
+        ) + 1
+        assert heap.stats.cform_instructions == arena_cforms + lines
+        heap.free(allocation)
+        assert heap.stats.cform_instructions == arena_cforms + 2 * lines
+
+    def test_malloc_free_counters(self):
+        heap, compiler, _ = make_heap()
+        layout = compiler.transform(struct("S", ("x", INT)))
+        allocation = heap.malloc(layout)
+        heap.free(allocation)
+        assert heap.stats.mallocs == 1
+        assert heap.stats.frees == 1
+        assert heap.stats.security_bytes_live == 0
+
+
+class TestNonTemporalMode:
+    def test_heap_works_with_streaming_cform(self):
+        hierarchy = MemoryHierarchy()
+        heap = CaliformsHeap(
+            hierarchy, base=0x10000, size=16 * 64, use_non_temporal_cform=True
+        )
+        compiler = CompilerPass(CompilerConfig(policy=Policy.FULL, seed=5))
+        layout = compiler.transform(struct("S", ("x", INT)))
+        allocation = heap.malloc(layout)
+        field = allocation.address + layout.offset_of("x")
+        hierarchy.store_or_raise(field, b"abcd")
+        heap.free(allocation)
+        with pytest.raises(SecurityByteAccess):
+            hierarchy.load_or_raise(field, 1)

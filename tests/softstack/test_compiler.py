@@ -1,0 +1,128 @@
+"""Tests for the compiler pass and its CFORM planning."""
+
+import pytest
+
+from repro.core import bitvector as bv
+from repro.softstack.compiler import (
+    CompilerConfig,
+    CompilerPass,
+    allocation_requests,
+    blanket_requests,
+    free_requests,
+    stack_frame_requests,
+)
+from repro.softstack.ctypes_model import (
+    CHAR,
+    INT,
+    LISTING_1_STRUCT_A,
+    struct,
+)
+from repro.softstack.insertion import Policy
+
+
+@pytest.fixture
+def intelligent_pass():
+    return CompilerPass(CompilerConfig(policy=Policy.INTELLIGENT, seed=42))
+
+
+class TestTransform:
+    def test_transform_is_deterministic_per_seed(self, intelligent_pass):
+        a = intelligent_pass.transform(LISTING_1_STRUCT_A)
+        b = intelligent_pass.transform(LISTING_1_STRUCT_A)
+        assert a.field_offsets == b.field_offsets
+        assert a.spans == b.spans
+
+    def test_different_seeds_differ(self):
+        one = CompilerPass(CompilerConfig(policy=Policy.FULL, seed=1))
+        two = CompilerPass(CompilerConfig(policy=Policy.FULL, seed=2))
+        assert one.transform(LISTING_1_STRUCT_A).field_offsets != two.transform(
+            LISTING_1_STRUCT_A
+        ).field_offsets
+
+    def test_transform_all(self, intelligent_pass):
+        corpus = [LISTING_1_STRUCT_A, struct("B", ("c", CHAR), ("i", INT))]
+        layouts = intelligent_pass.transform_all(corpus)
+        assert set(layouts) == {"A", "B"}
+
+    def test_transform_fixed(self, intelligent_pass):
+        layout = intelligent_pass.transform_fixed(LISTING_1_STRUCT_A, 3)
+        assert layout.size > LISTING_1_STRUCT_A.size
+
+
+class TestAllocationPlanning:
+    def test_one_request_per_line(self, intelligent_pass):
+        layout = intelligent_pass.transform(LISTING_1_STRUCT_A)
+        requests = allocation_requests(layout, base_address=0x1000)
+        lines_touched = (0x1000 + layout.size - 1) // 64 - 0x1000 // 64 + 1
+        assert len(requests) == lines_touched
+
+    def test_alloc_unsets_data_free_sets_it_back(self, intelligent_pass):
+        layout = intelligent_pass.transform(LISTING_1_STRUCT_A)
+        allocs = allocation_requests(layout, 0x1000)
+        frees = free_requests(layout, 0x1000)
+        for alloc, free in zip(allocs, frees):
+            assert alloc.line_address == free.line_address
+            assert alloc.mask == free.mask
+            assert alloc.attributes == 0
+            assert free.attributes == free.mask
+
+    def test_masks_cover_exactly_data_bytes(self, intelligent_pass):
+        layout = intelligent_pass.transform(LISTING_1_STRUCT_A)
+        base = 0x1000
+        covered = set()
+        for request in allocation_requests(layout, base):
+            for index in bv.iter_set_bits(request.mask):
+                covered.add(request.line_address + index - base)
+        assert covered == set(layout.data_byte_offsets)
+
+    def test_unaligned_base_spans_extra_line(self, intelligent_pass):
+        layout = intelligent_pass.transform(struct("S", ("x", INT)))
+        aligned = allocation_requests(layout, 0x1000)
+        unaligned = allocation_requests(layout, 0x1000 + 62)
+        assert len(unaligned) == len(aligned) + 1
+
+
+class TestBlanketPlanning:
+    def test_blacklist_then_unblacklist_roundtrip(self):
+        on = blanket_requests(0x2000, 100, blacklist=True)
+        off = blanket_requests(0x2000, 100, blacklist=False)
+        assert [r.line_address for r in on] == [r.line_address for r in off]
+        total_bits = sum(bv.popcount(r.mask) for r in on)
+        assert total_bits == 100
+
+    def test_partial_first_line(self):
+        requests = blanket_requests(0x2000 + 60, 8, blacklist=True)
+        assert len(requests) == 2
+        assert bv.popcount(requests[0].mask) == 4
+        assert bv.popcount(requests[1].mask) == 4
+
+
+class TestStackFramePlanning:
+    def test_entry_sets_exit_unsets(self):
+        compiler = CompilerPass(CompilerConfig(policy=Policy.FULL, seed=3))
+        layout = compiler.transform(LISTING_1_STRUCT_A)
+        placed = [(layout, 0x7000)]
+        entering = stack_frame_requests(placed, entering=True)
+        leaving = stack_frame_requests(placed, entering=False)
+        assert [r.line_address for r in entering] == [
+            r.line_address for r in leaving
+        ]
+        for on, off in zip(entering, leaving):
+            assert on.attributes == on.mask
+            assert off.attributes == 0
+            assert on.mask == off.mask
+
+    def test_span_bytes_covered(self):
+        compiler = CompilerPass(CompilerConfig(policy=Policy.FULL, seed=3))
+        layout = compiler.transform(LISTING_1_STRUCT_A)
+        base = 0x7000
+        covered = set()
+        for request in stack_frame_requests([(layout, base)], entering=True):
+            for index in bv.iter_set_bits(request.mask):
+                covered.add(request.line_address + index - base)
+        assert covered == layout.security_offsets_set()
+
+    def test_empty_frame_no_requests(self):
+        compiler = CompilerPass(CompilerConfig(policy=Policy.INTELLIGENT, seed=0))
+        layout = compiler.transform(struct("Plain", ("a", INT), ("b", INT)))
+        assert stack_frame_requests([(layout, 0x7000)], entering=True) == []

@@ -1,0 +1,153 @@
+"""Unit tests for the C-like type system."""
+
+import pytest
+
+from repro.softstack.ctypes_model import (
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    FUNCTION_POINTER,
+    INT,
+    LISTING_1_STRUCT_A,
+    LONG,
+    POINTER,
+    SHORT,
+    Array,
+    CUnion,
+    Field,
+    Scalar,
+    ScalarKind,
+    Struct,
+    align_up,
+    is_blacklist_target,
+    struct,
+)
+
+
+class TestScalars:
+    def test_lp64_sizes(self):
+        assert CHAR.size == 1
+        assert SHORT.size == 2
+        assert INT.size == 4
+        assert LONG.size == 8
+        assert FLOAT.size == 4
+        assert DOUBLE.size == 8
+        assert POINTER.size == 8
+        assert FUNCTION_POINTER.size == 8
+
+    def test_natural_alignment(self):
+        for scalar in (CHAR, SHORT, INT, LONG, FLOAT, DOUBLE, POINTER):
+            assert scalar.align == scalar.size
+
+    def test_invalid_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            Scalar("bad", 0, 1)
+        with pytest.raises(ValueError):
+            Scalar("bad", 3, 2)
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(8, 4) == 8
+
+    def test_rounds_up(self):
+        assert align_up(5, 4) == 8
+        assert align_up(1, 8) == 8
+
+    def test_zero(self):
+        assert align_up(0, 16) == 0
+
+
+class TestArray:
+    def test_size_and_align(self):
+        array = Array(INT, 10)
+        assert array.size == 40
+        assert array.align == 4
+
+    def test_name(self):
+        assert Array(CHAR, 64).name == "char[64]"
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            Array(CHAR, 0)
+
+    def test_array_of_struct(self):
+        inner = struct("P", ("x", INT), ("y", CHAR))
+        array = Array(inner, 3)
+        assert array.size == 3 * inner.size
+        assert array.align == 4
+
+
+class TestStruct:
+    def test_listing1_size(self):
+        # char c | 3 pad | int i at 4 | buf[64] at 8 | fp at 72 | d at 80
+        assert LISTING_1_STRUCT_A.size == 88
+        assert LISTING_1_STRUCT_A.align == 8
+
+    def test_simple_struct(self):
+        s = struct("S", ("c", CHAR), ("i", INT))
+        assert s.size == 8  # 1 + 3 pad + 4
+        assert s.align == 4
+
+    def test_no_padding_struct(self):
+        s = struct("T", ("a", INT), ("b", INT))
+        assert s.size == 8
+
+    def test_trailing_padding(self):
+        s = struct("U", ("l", LONG), ("c", CHAR))
+        assert s.size == 16  # 8 + 1 + 7 trailing
+
+    def test_nested_struct(self):
+        inner = struct("I", ("c", CHAR), ("l", LONG))  # size 16, align 8
+        outer = struct("O", ("x", CHAR), ("in_", inner))
+        assert inner.size == 16
+        assert outer.size == 24
+        assert outer.align == 8
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(ValueError):
+            Struct("E", ())
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            struct("D", ("x", INT), ("x", CHAR))
+
+    def test_field_lookup(self):
+        assert LISTING_1_STRUCT_A.field("i").ctype is INT
+        with pytest.raises(KeyError):
+            LISTING_1_STRUCT_A.field("nope")
+
+
+class TestUnion:
+    def test_size_is_max_rounded(self):
+        union = CUnion("U", (Field("c", CHAR), Field("l", LONG)))
+        assert union.size == 8
+        assert union.align == 8
+
+    def test_union_with_odd_member(self):
+        union = CUnion("U", (Field("a", Array(CHAR, 9)), Field("i", INT)))
+        assert union.size == 12  # 9 rounded up to align 4
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(ValueError):
+            CUnion("E", ())
+
+
+class TestBlacklistTargets:
+    def test_arrays_and_pointers_are_targets(self):
+        assert is_blacklist_target(Array(CHAR, 4))
+        assert is_blacklist_target(POINTER)
+        assert is_blacklist_target(FUNCTION_POINTER)
+
+    def test_plain_scalars_are_not(self):
+        assert not is_blacklist_target(INT)
+        assert not is_blacklist_target(DOUBLE)
+        assert not is_blacklist_target(CHAR)
+
+    def test_nested_struct_is_not_a_direct_target(self):
+        assert not is_blacklist_target(struct("S", ("i", INT)))
+
+    def test_scalar_kind_classification(self):
+        assert POINTER.kind is ScalarKind.POINTER
+        assert FUNCTION_POINTER.kind is ScalarKind.FUNCTION_POINTER
+        assert DOUBLE.kind is ScalarKind.FLOATING

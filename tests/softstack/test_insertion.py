@@ -1,0 +1,229 @@
+"""Tests for the three insertion policies and the Figure 4 fixed pass."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ConfigurationError
+from repro.softstack.ctypes_model import (
+    CHAR,
+    DOUBLE,
+    INT,
+    LISTING_1_STRUCT_A,
+    LONG,
+    POINTER,
+    Array,
+    Field,
+    Struct,
+    struct,
+)
+from repro.softstack.insertion import (
+    Policy,
+    apply_policy,
+    fixed_full,
+    full,
+    intelligent,
+    opportunistic,
+)
+from repro.softstack.layout import layout_struct
+
+scalar_pool = [CHAR, INT, LONG, DOUBLE, POINTER]
+member_types = st.one_of(
+    st.sampled_from(scalar_pool),
+    st.builds(Array, st.sampled_from([CHAR, INT]), st.integers(1, 8)),
+)
+
+
+def random_struct(types):
+    return Struct("R", tuple(Field(f"f{i}", t) for i, t in enumerate(types)))
+
+
+def spans_disjoint_from_fields(califormed):
+    blacklisted = califormed.security_offsets_set()
+    for name, offset in califormed.field_offsets.items():
+        size = califormed.field_size(name)
+        field_bytes = set(range(offset, offset + size))
+        if field_bytes & blacklisted:
+            return False
+    return True
+
+
+class TestOpportunistic:
+    def test_listing1b(self):
+        califormed = opportunistic(layout_struct(LISTING_1_STRUCT_A))
+        # Exactly the 3 compiler padding bytes between c and i.
+        assert califormed.security_bytes == 3
+        assert califormed.spans[0].offset == 1
+        assert califormed.spans[0].size == 3
+        assert califormed.spans[0].source == "padding"
+
+    def test_no_layout_change(self):
+        layout = layout_struct(LISTING_1_STRUCT_A)
+        califormed = opportunistic(layout)
+        assert califormed.size == layout.size
+        assert califormed.memory_overhead_bytes == 0
+        for slot in layout.slots:
+            assert califormed.offset_of(slot.name) == slot.offset
+
+    def test_dense_struct_gets_no_spans(self):
+        califormed = opportunistic(layout_struct(struct("D", ("a", LONG))))
+        assert califormed.spans == ()
+
+
+class TestFull:
+    def test_listing1c_every_gap_protected(self):
+        rng = random.Random(7)
+        califormed = full(layout_struct(LISTING_1_STRUCT_A), rng, 1, 3)
+        offsets = sorted(califormed.field_offsets.values())
+        blacklisted = califormed.security_offsets_set()
+        # A span before the first field.
+        assert 0 in blacklisted
+        # Between every adjacent pair of fields there is >= 1 security byte.
+        names = sorted(califormed.field_offsets, key=califormed.offset_of)
+        for first, second in zip(names, names[1:]):
+            gap = range(
+                califormed.offset_of(first) + califormed.field_size(first),
+                califormed.offset_of(second),
+            )
+            assert any(o in blacklisted for o in gap), (first, second)
+        # After the last field too.
+        last = names[-1]
+        tail = range(
+            califormed.offset_of(last) + califormed.field_size(last),
+            califormed.size,
+        )
+        assert any(o in blacklisted for o in tail)
+        del offsets
+
+    def test_random_sizes_within_range(self):
+        rng = random.Random(1)
+        califormed = full(layout_struct(LISTING_1_STRUCT_A), rng, 2, 5)
+        inserted = [s for s in califormed.spans if s.source == "inserted"]
+        # Merged spans can exceed max (span + adjacent padding), but no
+        # inserted span is smaller than the minimum.
+        assert all(s.size >= 2 for s in inserted)
+
+    def test_seeds_change_layout(self):
+        layout = layout_struct(LISTING_1_STRUCT_A)
+        a = full(layout, random.Random(1), 1, 7)
+        b = full(layout, random.Random(2), 1, 7)
+        assert a.field_offsets != b.field_offsets  # randomised layouts
+
+    def test_alignment_preserved(self):
+        rng = random.Random(3)
+        califormed = full(layout_struct(LISTING_1_STRUCT_A), rng, 1, 7)
+        base = califormed.base.struct
+        for member in base.fields:
+            offset = califormed.offset_of(member.name)
+            assert offset % member.ctype.align == 0, member.name
+
+    def test_invalid_sizes_rejected(self):
+        layout = layout_struct(LISTING_1_STRUCT_A)
+        with pytest.raises(ConfigurationError):
+            full(layout, random.Random(0), 0, 3)
+        with pytest.raises(ConfigurationError):
+            full(layout, random.Random(0), 3, 2)
+        with pytest.raises(ConfigurationError):
+            full(layout, random.Random(0), 1, 8)
+
+
+class TestIntelligent:
+    def test_listing1d_targets(self):
+        rng = random.Random(11)
+        califormed = intelligent(layout_struct(LISTING_1_STRUCT_A), rng, 1, 3)
+        blacklisted = califormed.security_offsets_set()
+        # buf (array) is protected on both sides.
+        buf = califormed.offset_of("buf")
+        assert (buf - 1) in blacklisted
+        assert (buf + 64) in blacklisted
+        # fp (function pointer) is protected after as well.
+        fp = califormed.offset_of("fp")
+        assert (fp + 8) in blacklisted
+        # c..i natural padding is NOT harvested under intelligent.
+        c_end = califormed.offset_of("c") + 1
+        i_start = califormed.offset_of("i")
+        for offset in range(c_end, i_start):
+            assert offset not in blacklisted
+
+    def test_scalar_only_struct_gets_nothing(self):
+        rng = random.Random(0)
+        califormed = intelligent(
+            layout_struct(struct("S", ("a", INT), ("b", DOUBLE))), rng
+        )
+        assert califormed.security_bytes == 0
+        assert califormed.memory_overhead_bytes == 0
+
+    def test_pointer_heavy_struct_is_protected(self):
+        rng = random.Random(0)
+        califormed = intelligent(
+            layout_struct(struct("P", ("p", POINTER), ("q", POINTER))), rng
+        )
+        assert califormed.security_bytes > 0
+
+
+class TestFixedFull:
+    def test_zero_padding_is_opportunistic(self):
+        layout = layout_struct(LISTING_1_STRUCT_A)
+        assert fixed_full(layout, 0).size == layout.size
+
+    def test_padding_grows_with_size(self):
+        layout = layout_struct(LISTING_1_STRUCT_A)
+        sizes = [fixed_full(layout, n).size for n in range(1, 8)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] > layout.size
+
+    def test_rejects_out_of_range(self):
+        layout = layout_struct(LISTING_1_STRUCT_A)
+        with pytest.raises(ConfigurationError):
+            fixed_full(layout, 8)
+
+
+class TestApplyPolicy:
+    def test_dispatch(self):
+        layout = layout_struct(LISTING_1_STRUCT_A)
+        rng = random.Random(0)
+        assert apply_policy(layout, Policy.OPPORTUNISTIC, rng).policy is (
+            Policy.OPPORTUNISTIC
+        )
+        assert apply_policy(layout, Policy.FULL, rng).policy is Policy.FULL
+        assert apply_policy(layout, Policy.INTELLIGENT, rng).policy is (
+            Policy.INTELLIGENT
+        )
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(member_types, min_size=1, max_size=8),
+    st.sampled_from(list(Policy)),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_policy_invariants(types, policy, seed):
+    """For every policy and struct: spans never overlap fields, spans stay
+    in bounds, field alignment is preserved, data+security partition."""
+    model = random_struct(types)
+    layout = layout_struct(model)
+    califormed = apply_policy(layout, policy, random.Random(seed))
+
+    assert spans_disjoint_from_fields(califormed)
+    blacklisted = califormed.security_offsets_set()
+    assert all(0 <= o < califormed.size for o in blacklisted)
+    for member in model.fields:
+        assert califormed.offset_of(member.name) % member.ctype.align == 0
+    # Data offsets and security offsets partition the object exactly.
+    data = set(califormed.data_byte_offsets)
+    assert data | blacklisted == set(range(califormed.size))
+    assert not data & blacklisted
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(member_types, min_size=1, max_size=8), st.integers(0, 2**31))
+def test_full_dominates_opportunistic_coverage(types, seed):
+    """Full always blacklists at least as many bytes as opportunistic."""
+    layout = layout_struct(random_struct(types))
+    rng = random.Random(seed)
+    assert (
+        full(layout, rng).security_bytes
+        >= opportunistic(layout).security_bytes
+    )

@@ -1,0 +1,132 @@
+"""Tests for the C struct-declaration parser."""
+
+import pytest
+
+from repro.softstack.ctypes_model import (
+    CHAR,
+    DOUBLE,
+    FUNCTION_POINTER,
+    INT,
+    LISTING_1_STRUCT_A,
+    LONG,
+    POINTER,
+    UNSIGNED_LONG,
+    Array,
+)
+from repro.softstack.layout import layout_struct
+from repro.softstack.parser import ParseError, parse_struct, parse_structs
+
+LISTING_1_SOURCE = """
+struct A {
+    char c;
+    int i;
+    char buf[64];
+    void (*fp)();
+    double d;
+};
+"""
+
+
+class TestListing1:
+    def test_parses_listing_1(self):
+        parsed = parse_struct(LISTING_1_SOURCE)
+        assert parsed.name == "A"
+        assert [f.name for f in parsed.fields] == ["c", "i", "buf", "fp", "d"]
+        assert parsed.fields[0].ctype is CHAR
+        assert parsed.fields[1].ctype is INT
+        assert parsed.fields[2].ctype == Array(CHAR, 64)
+        assert parsed.fields[3].ctype is FUNCTION_POINTER
+        assert parsed.fields[4].ctype is DOUBLE
+
+    def test_layout_matches_handbuilt(self):
+        parsed = parse_struct(LISTING_1_SOURCE)
+        ours = layout_struct(LISTING_1_STRUCT_A)
+        theirs = layout_struct(parsed)
+        assert theirs.size == ours.size
+        assert [s.offset for s in theirs.slots] == [s.offset for s in ours.slots]
+
+
+class TestTypeZoo:
+    def test_qualified_scalars(self):
+        parsed = parse_struct(
+            "struct Q { unsigned long counter; signed char flag; "
+            "unsigned short id; long long big; };"
+        )
+        assert parsed.field("counter").ctype is UNSIGNED_LONG
+        assert parsed.field("big").ctype.size == 8
+
+    def test_pointers_flatten_to_void_pointer(self):
+        parsed = parse_struct("struct P { char *name; int **table; };")
+        assert parsed.field("name").ctype is POINTER
+        assert parsed.field("table").ctype is POINTER
+
+    def test_multi_declarator_lines(self):
+        parsed = parse_struct("struct M { int x, y, z; };")
+        assert [f.name for f in parsed.fields] == ["x", "y", "z"]
+
+    def test_multidimensional_arrays(self):
+        parsed = parse_struct("struct G { double grid[4][8]; };")
+        grid = parsed.field("grid").ctype
+        assert grid.size == 4 * 8 * 8
+        assert grid.element == Array(DOUBLE, 8)
+
+    def test_size_t(self):
+        parsed = parse_struct("struct S { size_t n; };")
+        assert parsed.field("n").ctype is UNSIGNED_LONG
+
+    def test_comments_stripped(self):
+        parsed = parse_struct(
+            "struct C { int a; /* padding here */ long b; // tail\n };"
+        )
+        assert parsed.field("b").ctype is LONG
+
+
+class TestCrossReferences:
+    def test_nested_struct_by_value(self):
+        structs = parse_structs(
+            "struct Inner { char c; long l; };"
+            "struct Outer { char tag; struct Inner body; };"
+        )
+        outer = structs[1]
+        assert outer.field("body").ctype is structs[0]
+        assert layout_struct(outer).size == 24
+
+    def test_struct_pointer_needs_no_definition(self):
+        parsed = parse_struct("struct L { struct L *next; int v; };")
+        assert parsed.field("next").ctype is POINTER
+
+    def test_unknown_struct_value_rejected(self):
+        with pytest.raises(ParseError):
+            parse_struct("struct X { struct Ghost g; };")
+
+    def test_known_namespace_is_extended(self):
+        known = {}
+        parse_structs("struct A1 { int x; };", known)
+        parse_structs("struct B1 { struct A1 a; };", known)
+        assert set(known) == {"A1", "B1"}
+
+
+class TestErrors:
+    def test_bitfields_rejected(self):
+        with pytest.raises(ParseError, match="bit-field"):
+            parse_struct("struct B { int flags : 3; };")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_struct("struct U { widget w; };")
+
+    def test_void_member_rejected(self):
+        with pytest.raises(ParseError):
+            parse_struct("struct V { void v; };")
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(ParseError):
+            parse_struct("struct E { };")
+
+    def test_no_structs_rejected(self):
+        with pytest.raises(ParseError):
+            parse_struct("int main(void) { return 0; }")
+
+    def test_multiple_when_one_expected(self):
+        with pytest.raises(ParseError):
+            parse_struct("struct A2 { int x; }; struct B2 { int y; };")

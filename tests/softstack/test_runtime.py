@@ -1,0 +1,184 @@
+"""End-to-end tests of the Process runtime: the user-facing API."""
+
+import pytest
+
+from repro.core.exceptions import CaliformsError, SecurityByteAccess
+from repro.softstack.allocator import HeapError
+from repro.softstack.ctypes_model import (
+    CHAR,
+    INT,
+    LISTING_1_STRUCT_A,
+    LONG,
+    Array,
+    struct,
+)
+from repro.softstack.insertion import Policy
+from repro.softstack.runtime import Process
+
+
+def make_process(policy=Policy.FULL, **kwargs):
+    kwargs.setdefault("heap_size", 1 << 14)
+    kwargs.setdefault("seed", 9)
+    return Process(policy=policy, **kwargs)
+
+
+class TestTypedAccess:
+    def test_write_read_field(self):
+        process = make_process()
+        handle = process.new(LISTING_1_STRUCT_A)
+        process.write_field(handle, "i", (1234).to_bytes(4, "little"))
+        assert int.from_bytes(process.read_field(handle, "i"), "little") == 1234
+
+    def test_array_element_access(self):
+        process = make_process()
+        handle = process.new(LISTING_1_STRUCT_A)
+        process.write_field(handle, "buf", b"Z", index=10)
+        assert process.read_field(handle, "buf", size=1, index=10) == b"Z"
+
+    def test_whole_array_read(self):
+        process = make_process()
+        handle = process.new(LISTING_1_STRUCT_A)
+        process.write_field(handle, "buf", b"x" * 64)
+        assert process.read_field(handle, "buf") == b"x" * 64
+
+    def test_element_of_non_array_rejected(self):
+        process = make_process()
+        handle = process.new(LISTING_1_STRUCT_A)
+        with pytest.raises(CaliformsError):
+            process.field_address(handle, "i", index=2)
+
+    def test_undeclared_struct_rejected(self):
+        process = make_process()
+        with pytest.raises(CaliformsError):
+            process.layout_of("Ghost")
+
+
+class TestOverflowDetection:
+    def test_intra_object_overflow_detected(self):
+        """The paper's headline: writing past buf into fp is caught."""
+        process = make_process(policy=Policy.FULL)
+        handle = process.new(LISTING_1_STRUCT_A)
+        buf = process.field_address(handle, "buf")
+        with pytest.raises(SecurityByteAccess):
+            process.raw_write(buf, b"A" * 65)  # one byte past the array
+
+    def test_intra_object_overread_detected(self):
+        process = make_process(policy=Policy.FULL)
+        handle = process.new(LISTING_1_STRUCT_A)
+        buf = process.field_address(handle, "buf")
+        with pytest.raises(SecurityByteAccess):
+            process.raw_read(buf, 65)
+
+    def test_inter_object_overflow_detected(self):
+        process = make_process(policy=Policy.OPPORTUNISTIC)
+        small = struct("Small", ("data", Array(CHAR, 16)))
+        a = process.new(small)
+        with pytest.raises(SecurityByteAccess):
+            # Run off the end of the allocation into arena/quarantine bytes.
+            process.raw_write(process.field_address(a, "data"), b"B" * 64)
+
+    def test_use_after_free_detected(self):
+        process = make_process()
+        handle = process.new(LISTING_1_STRUCT_A)
+        address = process.field_address(handle, "i")
+        process.delete(handle)
+        with pytest.raises(SecurityByteAccess):
+            process.raw_read(address, 4)
+
+    def test_runtime_double_free_detected(self):
+        process = make_process()
+        handle = process.new(LISTING_1_STRUCT_A)
+        process.delete(handle)
+        with pytest.raises(HeapError):
+            process.delete(handle)
+
+
+class TestIntelligentPolicyCoverage:
+    def test_array_protected_but_scalars_not_padded(self):
+        process = make_process(policy=Policy.INTELLIGENT)
+        handle = process.new(LISTING_1_STRUCT_A)
+        buf_end = process.field_address(handle, "buf") + 64
+        with pytest.raises(SecurityByteAccess):
+            process.raw_read(buf_end, 1)
+
+
+class TestStackFrames:
+    def test_dirty_before_use_lifecycle(self):
+        process = make_process(policy=Policy.FULL)
+        process.declare(LISTING_1_STRUCT_A)
+        frame = process.push_frame({"local_a": "A"})
+        layout, base = frame.locals["local_a"]
+        span = layout.spans[0]
+        with pytest.raises(SecurityByteAccess):
+            process.raw_read(base + span.offset, 1)
+        # Data bytes of the local are writable.
+        process.raw_write(
+            process.local_address(frame, "local_a", "i"), b"\x01\x02\x03\x04"
+        )
+        process.pop_frame()
+        # After return the span bytes are plain stack memory again.
+        assert process.raw_read(base + span.offset, 1) == b"\x00"
+
+    def test_nested_frames(self):
+        process = make_process(policy=Policy.FULL)
+        process.declare(LISTING_1_STRUCT_A)
+        outer = process.push_frame({"x": "A"})
+        inner = process.push_frame({"y": "A"})
+        assert inner.base < outer.base  # stack grows down
+        process.pop_frame()
+        process.pop_frame()
+
+    def test_pop_without_push_rejected(self):
+        process = make_process()
+        with pytest.raises(CaliformsError):
+            process.pop_frame()
+
+    def test_stack_overflow_detected(self):
+        process = make_process(stack_size=256)
+        big = struct("Big", ("b", Array(CHAR, 512)))
+        process.declare(big)
+        with pytest.raises(CaliformsError):
+            process.push_frame({"b": "Big"})
+
+
+class TestWhitelistedOperations:
+    def test_memcpy_copies_data_and_skips_spans(self):
+        process = make_process(policy=Policy.FULL)
+        source = process.new(LISTING_1_STRUCT_A)
+        destination = process.new("A")
+        process.write_field(source, "i", b"\x2a\x00\x00\x00")
+        process.write_field(source, "buf", b"k" * 64)
+        process.memcpy(destination.address, source.address, source.layout.size)
+        assert process.read_field(destination, "i") == b"\x2a\x00\x00\x00"
+        assert process.read_field(destination, "buf") == b"k" * 64
+        # Destination spans remain blacklisted after the copy.
+        span = destination.layout.spans[0]
+        with pytest.raises(SecurityByteAccess):
+            process.raw_read(destination.address + span.offset, 1)
+
+    def test_io_write_materialises_zeros(self):
+        process = make_process(policy=Policy.FULL)
+        handle = process.new(LISTING_1_STRUCT_A)
+        process.write_field(handle, "c", b"\xff")
+        data = process.io_write(handle.address, handle.layout.size)
+        span = handle.layout.spans[0]
+        assert data[span.offset] == 0  # un-califormed view
+        assert data[handle.layout.offset_of("c")] == 0xFF
+
+    def test_no_exception_raised_inside_whitelisted_ops(self):
+        process = make_process(policy=Policy.FULL)
+        handle = process.new(LISTING_1_STRUCT_A)
+        process.io_write(handle.address, handle.layout.size)
+        assert process.cpu.counters.exceptions_raised == 0
+        assert process.cpu.counters.exceptions_suppressed >= 0
+
+
+class TestCformAccounting:
+    def test_cform_count_grows_with_activity(self):
+        process = make_process(policy=Policy.FULL)
+        baseline = process.cform_instruction_count()
+        handle = process.new(LISTING_1_STRUCT_A)
+        after_alloc = process.cform_instruction_count()
+        assert after_alloc > baseline
+        process.delete(handle)
+        assert process.cform_instruction_count() > after_alloc

@@ -1,0 +1,78 @@
+"""Tests for the struct corpora behind the Figure 3 census."""
+
+from repro.softstack.ctypes_model import Struct
+from repro.softstack.layout import densities, fraction_with_padding, layout_struct
+from repro.workloads.structs_corpus import (
+    HEAP_TYPE_POOL,
+    SPEC_HANDWRITTEN,
+    SPEC_PROFILE,
+    V8_HANDWRITTEN,
+    V8_PROFILE,
+    generate_corpus,
+    generate_struct,
+    spec_corpus,
+    v8_corpus,
+)
+import random
+
+
+class TestHandwrittenCorpora:
+    def test_all_shapes_lay_out(self):
+        for struct in SPEC_HANDWRITTEN + V8_HANDWRITTEN:
+            layout = layout_struct(struct)
+            assert layout.size >= struct.size or layout.size == struct.size
+            assert 0 < layout.density <= 1.0
+
+    def test_unique_names(self):
+        names = [s.name for s in SPEC_HANDWRITTEN + V8_HANDWRITTEN]
+        assert len(names) == len(set(names))
+
+    def test_heap_pool_is_spec_subset(self):
+        spec_names = {s.name for s in SPEC_HANDWRITTEN}
+        assert all(s.name in spec_names for s in HEAP_TYPE_POOL)
+        assert all(s.size <= 512 for s in HEAP_TYPE_POOL)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = generate_corpus(SPEC_PROFILE, 20, seed=1)
+        b = generate_corpus(SPEC_PROFILE, 20, seed=1)
+        assert [s.fields for s in a] == [s.fields for s in b]
+
+    def test_seeds_differ(self):
+        a = generate_corpus(SPEC_PROFILE, 20, seed=1)
+        b = generate_corpus(SPEC_PROFILE, 20, seed=2)
+        assert [s.fields for s in a] != [s.fields for s in b]
+
+    def test_generated_structs_are_valid(self):
+        rng = random.Random(3)
+        for index in range(50):
+            struct = generate_struct(V8_PROFILE, rng, index)
+            assert isinstance(struct, Struct)
+            layout_struct(struct)  # must not raise
+
+    def test_field_counts_in_range(self):
+        for struct in generate_corpus(SPEC_PROFILE, 100, seed=4):
+            assert 1 <= len(struct.fields) <= SPEC_PROFILE.max_fields
+
+
+class TestFigure3Calibration:
+    """The headline census numbers the corpora were calibrated against."""
+
+    def test_spec_padded_fraction_near_paper(self):
+        fraction = fraction_with_padding(spec_corpus())
+        assert abs(fraction - 0.457) < 0.05  # paper: 45.7 %
+
+    def test_v8_padded_fraction_near_paper(self):
+        fraction = fraction_with_padding(v8_corpus())
+        assert abs(fraction - 0.410) < 0.05  # paper: 41.0 %
+
+    def test_density_histogram_has_dense_peak(self):
+        """Figure 3's shape: the largest bin is full density (1.0)."""
+        values = densities(spec_corpus())
+        dense = sum(1 for v in values if v > 0.95)
+        assert dense / len(values) > 0.4
+
+    def test_corpus_sizes(self):
+        assert len(spec_corpus()) > 400
+        assert len(v8_corpus()) > 400
