@@ -1,0 +1,30 @@
+# Developer entry points.  Everything runs with PYTHONPATH=src; no
+# installation step is required.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench bench-quick bench-profile experiments experiments-full
+
+## Tier-1 verification: the full test + microbenchmark session.
+test:
+	$(PY) -m pytest -x -q
+
+## Record a full BENCH_<timestamp>.json trajectory entry.
+bench:
+	$(PY) -m repro.perf $(BENCH_ARGS)
+
+## Fast smoke run (small workloads, no report written).
+bench-quick:
+	$(PY) -m repro.perf --quick --no-write
+
+## Full run plus cProfile dumps under benchmarks/trajectory/profiles/.
+bench-profile:
+	$(PY) -m repro.perf --profile $(BENCH_ARGS)
+
+## Regenerate EXPERIMENTS.md (quick mode).
+experiments:
+	$(PY) -m repro.experiments.runner
+
+## Full-fidelity experiments, parallelised across 4 worker processes.
+experiments-full:
+	$(PY) -m repro.experiments.runner --full --jobs 4

@@ -12,6 +12,7 @@ sentinel codec, the CFORM instruction semantics, the caches and the tests.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Iterator
 
 #: Number of data bytes in a cache line (fixed by the paper's design).
@@ -75,9 +76,58 @@ def iter_set_bits(mask: int) -> Iterator[int]:
         mask ^= low
 
 
+#: Per-byte-value tuple of set-bit indices (0..7), for table-driven scans.
+_BYTE_INDICES: tuple[tuple[int, ...], ...] = tuple(
+    tuple(index for index in range(8) if (value >> index) & 1)
+    for value in range(256)
+)
+
+#: Per-byte-value expansion of a bit mask into a byte-wise 0xFF mask: bit
+#: ``i`` of the input becomes byte ``i`` (0xFF) of the 64-bit output.
+_BYTE_EXPAND: tuple[int, ...] = tuple(
+    sum(0xFF << (8 * index) for index in range(8) if (value >> index) & 1)
+    for value in range(256)
+)
+
+
 def indices_from_mask(mask: int) -> list[int]:
-    """Return the ascending list of set-bit indices of ``mask``."""
-    return list(iter_set_bits(mask))
+    """Return the ascending list of set-bit indices of ``mask``.
+
+    Table-driven: one lookup per non-zero mask byte instead of one loop
+    iteration per set bit.
+    """
+    out: list[int] = []
+    base = 0
+    while mask:
+        chunk = mask & 0xFF
+        if chunk:
+            out.extend(index + base for index in _BYTE_INDICES[chunk])
+        mask >>= 8
+        base += 8
+    return out
+
+
+@lru_cache(maxsize=4096)
+def expand_mask_to_bytes(mask: int) -> int:
+    """Expand a 64-bit per-byte mask into a 512-bit per-*bit* mask.
+
+    Bit ``i`` of ``mask`` becomes the full byte ``0xFF`` at byte position
+    ``i`` of the result (little-endian bit numbering, matching
+    ``int.from_bytes(line, "little")``).  This is the zeroing mask the
+    fast paths AND against a whole line held as one integer.
+
+    >>> hex(expand_mask_to_bytes(0b101))
+    '0xff00ff'
+    """
+    out = 0
+    shift = 0
+    while mask:
+        chunk = mask & 0xFF
+        if chunk:
+            out |= _BYTE_EXPAND[chunk] << shift
+        mask >>= 8
+        shift += 64
+    return out
 
 
 def mask_from_indices(indices: Iterable[int]) -> int:

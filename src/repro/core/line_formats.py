@@ -51,7 +51,24 @@ def normalize_security_bytes(data: bytes, secmask: int) -> bytes:
     the library keeps it at the canonical zero (the value the paper's design
     returns to speculative loads, and the value memory is zeroed to on
     deallocation).
+
+    Operates on the whole line as one integer against a precomputed
+    zeroing mask rather than per-byte; the pure per-byte version is
+    retained as :func:`normalize_security_bytes_reference` and the two are
+    differentially tested in ``tests/core/test_fastpath_equivalence.py``.
     """
+    _check_line_bytes(data)
+    if secmask == 0:
+        return bytes(data)
+    zeroing = bv.expand_mask_to_bytes(secmask)
+    value = int.from_bytes(data, "little")
+    if value & zeroing == 0:
+        return bytes(data)
+    return (value & ~zeroing).to_bytes(LINE_SIZE, "little")
+
+
+def normalize_security_bytes_reference(data: bytes, secmask: int) -> bytes:
+    """Pure per-byte reference for :func:`normalize_security_bytes`."""
     _check_line_bytes(data)
     if secmask == 0:
         return bytes(data)
@@ -59,6 +76,13 @@ def normalize_security_bytes(data: bytes, secmask: int) -> bytes:
     for index in bv.iter_set_bits(secmask):
         out[index] = 0
     return bytes(out)
+
+
+def security_bytes_clean(data: bytes | bytearray, secmask: int) -> bool:
+    """Whether every security-byte position of ``data`` already holds zero."""
+    if secmask == 0:
+        return True
+    return int.from_bytes(data, "little") & bv.expand_mask_to_bytes(secmask) == 0
 
 
 @dataclass
@@ -81,7 +105,10 @@ class BitvectorLine:
             raise ValueError(f"secmask 0x{self.secmask:x} is not a 64-bit mask")
         if not isinstance(self.data, bytearray):
             self.data = bytearray(self.data)
-        if self.secmask:
+        # Skip the normalising copy when every security slot already holds
+        # zero — the overwhelmingly common case for lines produced by the
+        # codec, the caches and the runtime.
+        if self.secmask and not security_bytes_clean(self.data, self.secmask):
             self.data[:] = normalize_security_bytes(bytes(self.data), self.secmask)
 
     # -- constructors -----------------------------------------------------
@@ -90,6 +117,20 @@ class BitvectorLine:
     def natural(cls, data: bytes | None = None) -> "BitvectorLine":
         """Build a line with no security bytes (zero-filled by default)."""
         return cls(bytearray(data) if data is not None else bytearray(LINE_SIZE))
+
+    @classmethod
+    def trusted(cls, data: bytearray, secmask: int) -> "BitvectorLine":
+        """Build a line from already-validated, already-normalized parts.
+
+        Fast-path constructor for the codec and the caches: skips the
+        ``__post_init__`` length/mask/normalisation checks.  The caller
+        guarantees ``data`` is a 64-byte ``bytearray`` whose security
+        positions are zero.
+        """
+        self = object.__new__(cls)
+        self.data = data
+        self.secmask = secmask
+        return self
 
     def copy(self) -> "BitvectorLine":
         return BitvectorLine(bytearray(self.data), self.secmask)
@@ -199,6 +240,17 @@ class SentinelLine:
     def natural(cls, data: bytes | None = None) -> "SentinelLine":
         """Build an un-califormed line (zero-filled by default)."""
         return cls(bytes(data) if data is not None else bytes(LINE_SIZE), False)
+
+    @classmethod
+    def trusted(cls, raw: bytes, califormed: bool) -> "SentinelLine":
+        """Build a line from an already-validated 64-byte ``bytes`` object.
+
+        Fast-path constructor for the codec: skips ``__post_init__``.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "raw", raw)
+        object.__setattr__(self, "califormed", califormed)
+        return self
 
     @property
     def metadata_bits(self) -> int:

@@ -35,9 +35,22 @@ security slot at-or-after the header (the assignment Figure 8's "Cross Bar"
 must realise), and the fill path inverts the same mapping.  See DESIGN.md
 "Spec-level disambiguations"; the property tests in
 ``tests/core/test_sentinel.py`` verify the round-trip for arbitrary lines.
+
+Fast paths.  The production :func:`encode`/:func:`decode` mirror the
+hardware's *fixed-function* fill/spill modules: all per-mask decisions
+(header layout, crossbar parking assignment, zeroing masks) are
+precomputed once per distinct ``secmask`` into an LRU-memoized
+:class:`_CodecPlan`, so converting a line with a previously seen layout
+is one table lookup plus whole-line integer operations — no per-byte
+Python loops.  The original loop-per-byte implementations are retained
+verbatim as :func:`encode_reference` / :func:`decode_reference` /
+:func:`find_sentinel_reference`; ``tests/core/test_fastpath_equivalence.py``
+differentially verifies the fast paths are bit-identical to them.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 from repro.core import bitvector as bv
 from repro.core.exceptions import SentinelNotFoundError
@@ -46,6 +59,7 @@ from repro.core.line_formats import (
     BitvectorLine,
     SentinelLine,
     normalize_security_bytes,
+    security_bytes_clean,
 )
 
 #: Number of header bytes used for each count code (code = index).
@@ -57,19 +71,23 @@ MAX_LISTED = 4
 #: Bit offset of the sentinel field within the 32-bit ``11`` header.
 _SENTINEL_SHIFT = 2 + bv.ADDR_BITS * MAX_LISTED
 
+#: Translation table mapping every byte value to its low six bits — the
+#: portion Figure 9's comparators inspect.  ``data.translate(_LOW6_TABLE)``
+#: is the software analogue of wiring the low-6 lines to the comparator
+#: array: one C-speed pass over the line.
+_LOW6_TABLE = bytes(value & bv.LOW6_MASK for value in range(256))
 
-def find_sentinel(data: bytes, secmask: int) -> int:
-    """Choose a sentinel: a 6-bit pattern unused by any regular byte.
 
-    Implements line 7 of Algorithm 1 ("scan least 6-bit of every byte to
-    determine sentinel").  Only *regular* bytes constrain the choice — the
-    paper's existence argument ("at most 63 unique values that non-security
-    bytes can have") relies on excluding the security bytes, whose stored
-    values are meaningless.
+# ---------------------------------------------------------------------------
+# Reference implementations (Algorithms 1 and 2, loop-per-byte).
+#
+# These are the retained ground truth for the differential tests; they are
+# deliberately untouched by the fast-path work below.
+# ---------------------------------------------------------------------------
 
-    Raises :class:`SentinelNotFoundError` if ``secmask`` is zero, because a
-    line of 64 regular bytes can exhaust all 64 patterns.
-    """
+
+def find_sentinel_reference(data: bytes, secmask: int) -> int:
+    """Choose a sentinel by scanning every regular byte (line 7, Algorithm 1)."""
     if secmask == 0:
         raise SentinelNotFoundError(
             "a line with no security bytes may have no free 6-bit pattern; "
@@ -145,12 +163,8 @@ def _parking_assignment(
     return list(zip(regular_header, parking_slots))
 
 
-def encode(line: BitvectorLine) -> SentinelLine:
-    """Spill a line from L1 to L2 format (Algorithm 1 / Figure 8).
-
-    Lines with no security bytes pass through unchanged with the metadata
-    bit clear (lines 1–3 of the algorithm).
-    """
+def encode_reference(line: BitvectorLine) -> SentinelLine:
+    """Reference spill path (Algorithm 1 / Figure 8), loop-per-byte."""
     if line.secmask == 0:
         return SentinelLine(bytes(line.data), califormed=False)
 
@@ -160,7 +174,7 @@ def encode(line: BitvectorLine) -> SentinelLine:
 
     sentinel = None
     if code == MAX_LISTED - 1:
-        sentinel = find_sentinel(data, line.secmask)
+        sentinel = find_sentinel_reference(data, line.secmask)
 
     out = bytearray(data)
     # Park the regular data displaced by the header inside security slots.
@@ -175,16 +189,8 @@ def encode(line: BitvectorLine) -> SentinelLine:
     return SentinelLine(bytes(out), califormed=True)
 
 
-def decode(line: SentinelLine) -> BitvectorLine:
-    """Fill a line from L2 format into L1 format (Algorithm 2 / Figure 9).
-
-    Un-califormed lines pass through with an all-zero bit vector (lines
-    1–3).  For califormed lines the security mask is reconstructed from the
-    header (and, for the ``11`` code, the 60-comparator sentinel scan over
-    bytes 4..63), parked data is restored to its natural position, and every
-    security slot is zeroed (line 10: "set the new locations of
-    byte[Addr[0-3]] to zero").
-    """
+def decode_reference(line: SentinelLine) -> BitvectorLine:
+    """Reference fill path (Algorithm 2 / Figure 9), loop-per-byte."""
     if not line.califormed:
         return BitvectorLine(bytearray(line.raw), 0)
 
@@ -206,6 +212,209 @@ def decode(line: SentinelLine) -> BitvectorLine:
         if bv.test_bit(secmask, index):
             out[index] = 0
     return BitvectorLine(out, secmask)
+
+
+# ---------------------------------------------------------------------------
+# Fast paths: memoized codec plan + whole-line integer operations.
+# ---------------------------------------------------------------------------
+
+
+class _CodecPlan:
+    """Everything the fill/spill modules need for one security mask.
+
+    The hardware's conversion logic is fixed-function: for a given set of
+    security-byte locations the header layout, crossbar routing and
+    zeroing behaviour are pure combinational functions of the mask.  This
+    class is the software analogue — computed once per distinct
+    ``secmask`` and memoized, so repeated layouts (the common case: a few
+    struct shapes dominate any workload) pay one dict lookup.
+    """
+
+    __slots__ = (
+        "secmask",
+        "count",
+        "code",
+        "header_len",
+        "listed",
+        "parking",
+        "extras",
+        "header_base",
+        "needs_sentinel",
+        "zeroing",
+        "keep",
+    )
+
+    def __init__(self, secmask: int):
+        indices = bv.indices_from_mask(secmask)
+        self.secmask = secmask
+        self.count = len(indices)
+        self.code = min(self.count, MAX_LISTED) - 1
+        self.header_len = HEADER_BYTES_FOR_CODE[self.code]
+        self.listed = indices[:MAX_LISTED]
+        self.parking = tuple(
+            _parking_assignment(self.listed, self.header_len, secmask)
+        )
+        self.extras = tuple(indices[MAX_LISTED:])
+        header_base = self.code
+        for position, address in enumerate(self.listed):
+            header_base |= address << (2 + bv.ADDR_BITS * position)
+        self.header_base = header_base
+        self.needs_sentinel = self.code == MAX_LISTED - 1
+        self.zeroing = bv.expand_mask_to_bytes(secmask)
+        self.keep = ~self.zeroing
+
+
+@lru_cache(maxsize=4096)
+def _plan_for_mask(secmask: int) -> _CodecPlan:
+    return _CodecPlan(secmask)
+
+
+def codec_plan_cache_info():
+    """Expose the plan cache statistics (perf harness / debugging aid)."""
+    return _plan_for_mask.cache_info()
+
+
+def _find_sentinel_normalized(data: bytes, security_count: int) -> int:
+    """Sentinel search for a line whose security bytes are already zero.
+
+    One ``translate`` pass folds every byte to its low six bits, a set
+    over the result collects the used patterns, and the only correction
+    needed is for pattern 0: the ``security_count`` zeroed security bytes
+    contribute it spuriously, so it stays available unless some *regular*
+    byte also maps to 0.  The free pattern chosen is the smallest, matching
+    :func:`find_sentinel_reference`.
+    """
+    low6 = data.translate(_LOW6_TABLE)
+    # Pattern 0 is spuriously "used" by the zeroed security bytes; it is
+    # genuinely free when no regular byte also maps to 0.
+    if low6.count(0) == security_count:
+        return 0
+    used = set(low6)
+    for pattern in range(1, 1 << bv.ADDR_BITS):
+        if pattern not in used:
+            return pattern
+    raise SentinelNotFoundError(
+        "no free 6-bit pattern among regular bytes; "
+        "this is impossible for a califormed line"
+    )  # pragma: no cover - unreachable by the counting argument
+
+
+def find_sentinel(data: bytes, secmask: int) -> int:
+    """Choose a sentinel: a 6-bit pattern unused by any regular byte.
+
+    Implements line 7 of Algorithm 1 ("scan least 6-bit of every byte to
+    determine sentinel").  Only *regular* bytes constrain the choice — the
+    paper's existence argument ("at most 63 unique values that non-security
+    bytes can have") relies on excluding the security bytes, whose stored
+    values are meaningless.
+
+    Raises :class:`SentinelNotFoundError` if ``secmask`` is zero, because a
+    line of 64 regular bytes can exhaust all 64 patterns.
+    """
+    if secmask == 0:
+        raise SentinelNotFoundError(
+            "a line with no security bytes may have no free 6-bit pattern; "
+            "sentinels are only defined for califormed lines"
+        )
+    if not security_bytes_clean(data, secmask):
+        # Non-canonical security bytes would pollute the single-pass scan;
+        # take the reference path that skips them index by index.
+        return find_sentinel_reference(data, secmask)
+    return _find_sentinel_normalized(bytes(data), secmask.bit_count())
+
+
+def encode(line: BitvectorLine) -> SentinelLine:
+    """Spill a line from L1 to L2 format (Algorithm 1 / Figure 8).
+
+    Lines with no security bytes pass through unchanged with the metadata
+    bit clear (lines 1–3 of the algorithm).  Califormed lines take the
+    memoized-plan fast path; see the module docstring.
+    """
+    secmask = line.secmask
+    if secmask == 0:
+        return SentinelLine.trusted(bytes(line.data), False)
+
+    plan = _plan_for_mask(secmask)
+    value = int.from_bytes(line.data, "little")
+    if value & plan.zeroing:
+        out = bytearray((value & plan.keep).to_bytes(LINE_SIZE, "little"))
+    else:
+        out = bytearray(line.data)
+
+    header = plan.header_base
+    if plan.needs_sentinel:
+        # Scan before the crossbar writes below disturb the security slots
+        # the zero-count correction relies on.
+        sentinel = _find_sentinel_normalized(out, plan.count)
+        header |= sentinel << _SENTINEL_SHIFT
+    # The crossbar: park the regular data displaced by the header inside
+    # security slots, per the precomputed assignment.  Reads are from
+    # header positions (< header_len), writes to listed slots beyond the
+    # header and to the extras — disjoint ranges, so in-place is safe.
+    for header_index, slot in plan.parking:
+        out[slot] = out[header_index]
+    if plan.needs_sentinel:
+        for extra in plan.extras:
+            out[extra] = sentinel
+    out[: plan.header_len] = header.to_bytes(plan.header_len, "little")
+    return SentinelLine.trusted(bytes(out), True)
+
+
+def decode(line: SentinelLine) -> BitvectorLine:
+    """Fill a line from L2 format into L1 format (Algorithm 2 / Figure 9).
+
+    Un-califormed lines pass through with an all-zero bit vector (lines
+    1–3).  For califormed lines the security mask is reconstructed from the
+    header (and, for the ``11`` code, the 60-comparator sentinel scan over
+    bytes 4..63), parked data is restored to its natural position, and every
+    security slot is zeroed (line 10: "set the new locations of
+    byte[Addr[0-3]] to zero").
+    """
+    if not line.califormed:
+        return BitvectorLine.trusted(bytearray(line.raw), 0)
+
+    raw = line.raw
+    code = raw[0] & 0b11
+    header_len = code + 1
+    value = int.from_bytes(raw[:header_len], "little")
+    listed = [
+        (value >> (2 + bv.ADDR_BITS * position)) & bv.LOW6_MASK
+        for position in range(header_len)
+    ]
+    secmask = 0
+    for address in listed:
+        secmask |= 1 << address
+
+    if code == MAX_LISTED - 1:
+        sentinel = (value >> _SENTINEL_SHIFT) & bv.LOW6_MASK
+        # Figure 9: only bytes 4..63 feed the sentinel comparators.  The
+        # translate pass is the comparator array; ``find`` hops between
+        # matches at C speed.
+        low6 = raw.translate(_LOW6_TABLE)
+        listed_mask = secmask
+        position = low6.find(sentinel, MAX_LISTED)
+        while position != -1:
+            if not (listed_mask >> position) & 1:
+                secmask |= 1 << position
+            position = low6.find(sentinel, position + 1)
+
+    plan = _plan_for_mask(secmask)
+    out = bytearray(raw)
+    # Invert the crossbar: restore the parked header data.  Well-formed
+    # lines always match the plan's precomputed assignment; a malformed
+    # header (unsorted or duplicate addresses) gets the reference pairing.
+    if listed == plan.listed and header_len == plan.header_len:
+        parking = plan.parking
+    else:
+        parking = _parking_assignment(listed, header_len, secmask)
+    for header_index, slot in parking:
+        out[header_index] = raw[slot]
+    # Zero every security slot in one whole-line mask operation (the
+    # reference delegates this to the BitvectorLine constructor).
+    line_value = int.from_bytes(out, "little")
+    if line_value & plan.zeroing:
+        out = bytearray((line_value & plan.keep).to_bytes(LINE_SIZE, "little"))
+    return BitvectorLine.trusted(out, secmask)
 
 
 def roundtrip(line: BitvectorLine) -> BitvectorLine:

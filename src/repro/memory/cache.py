@@ -69,7 +69,7 @@ class CacheGeometry:
         return line_number % self.num_sets, line_number // self.num_sets
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/traffic counters for one level."""
 
@@ -95,7 +95,7 @@ class CacheStats:
         self.spills_converted = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry(Generic[PayloadT]):
     payload: PayloadT
     dirty: bool = False
@@ -126,31 +126,45 @@ class CacheLevel(Generic[PayloadT]):
         self._spill = spill
         self._converts = converts
         self.stats = CacheStats()
+        # Hoisted geometry constants: the hit path runs once per simulated
+        # access, so even a method call per lookup is measurable.
+        self._line_size = geometry.line_size
+        self._num_sets = geometry.num_sets
         self._sets: list[OrderedDict[int, _Entry[PayloadT]]] = [
             OrderedDict() for _ in range(geometry.num_sets)
         ]
 
     # -- core mechanics ----------------------------------------------------
 
-    def access_line(self, address: int, *, for_write: bool) -> PayloadT:
-        """Return the payload for the line containing ``address``.
+    def _access_entry(self, address: int, for_write: bool) -> _Entry[PayloadT]:
+        """Hit-path core: return the (LRU-touched) entry for ``address``.
 
         Misses allocate (write-allocate policy) by fetching from the
         backing store; LRU victims that are dirty spill back down.
+        Callers that need to flip ``dirty`` after inspecting the payload
+        (the L1 store path) use the returned entry directly instead of a
+        second tag lookup.
         """
-        set_index, tag = self.geometry.locate(address)
+        line_number = address // self._line_size
+        set_index = line_number % self._num_sets
+        tag = line_number // self._num_sets
         entries = self._sets[set_index]
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         entry = entries.get(tag)
         if entry is not None:
-            self.stats.hits += 1
+            stats.hits += 1
             entries.move_to_end(tag)
         else:
-            self.stats.misses += 1
+            stats.misses += 1
             entry = self._allocate(address, set_index, tag)
         if for_write:
             entry.dirty = True
-        return entry.payload
+        return entry
+
+    def access_line(self, address: int, *, for_write: bool) -> PayloadT:
+        """Return the payload for the line containing ``address``."""
+        return self._access_entry(address, for_write).payload
 
     def _allocate(self, address: int, set_index: int, tag: int) -> _Entry[PayloadT]:
         entries = self._sets[set_index]
@@ -227,10 +241,16 @@ def make_sentinel_cache(
 class TagOnlyCache:
     """Tag array with LRU for fast miss counting over address traces."""
 
-    __slots__ = ("geometry", "_sets", "accesses", "hits", "misses")
+    __slots__ = (
+        "geometry", "_sets", "accesses", "hits", "misses",
+        "_line_size", "_num_sets", "_associativity",
+    )
 
     def __init__(self, geometry: CacheGeometry):
         self.geometry = geometry
+        self._line_size = geometry.line_size
+        self._num_sets = geometry.num_sets
+        self._associativity = geometry.associativity
         self._sets: list[OrderedDict[int, None]] = [
             OrderedDict() for _ in range(geometry.num_sets)
         ]
@@ -240,8 +260,8 @@ class TagOnlyCache:
 
     def access(self, address: int) -> bool:
         """Touch the line containing ``address``; return True on hit."""
-        line_number = address // self.geometry.line_size
-        num_sets = self.geometry.num_sets
+        line_number = address // self._line_size
+        num_sets = self._num_sets
         set_index = line_number % num_sets
         tag = line_number // num_sets
         entries = self._sets[set_index]
@@ -251,7 +271,7 @@ class TagOnlyCache:
             entries.move_to_end(tag)
             return True
         self.misses += 1
-        if len(entries) >= self.geometry.associativity:
+        if len(entries) >= self._associativity:
             entries.popitem(last=False)
         entries[tag] = None
         return False

@@ -44,8 +44,14 @@ class L1DataCache(CacheLevel[BitvectorLine]):
 
     def load(self, address: int, size: int) -> tuple[bytes, ExceptionRecord | None]:
         """Load ``size`` bytes; the range must stay within one line."""
-        base, offset = self._split(address, size)
-        line = self.access_line(base, for_write=False)
+        base = address & ~(bv.LINE_SIZE - 1)
+        offset = address - base
+        if offset + size > bv.LINE_SIZE:
+            raise ValueError(
+                f"access [{address:#x}, +{size}) crosses a line boundary; "
+                "the hierarchy splits accesses before they reach L1"
+            )
+        line = self._access_entry(base, False).payload
         return line.load(offset, size, base_address=base)
 
     def store(self, address: int, data: bytes) -> ExceptionRecord | None:
@@ -54,11 +60,17 @@ class L1DataCache(CacheLevel[BitvectorLine]):
         The line is dirtied only when the store commits — a store squashed
         by a security-byte violation modifies nothing.
         """
-        base, offset = self._split(address, len(data))
-        line = self.access_line(base, for_write=False)
-        record = line.store(offset, data, base_address=base)
+        base = address & ~(bv.LINE_SIZE - 1)
+        offset = address - base
+        if offset + len(data) > bv.LINE_SIZE:
+            raise ValueError(
+                f"access [{address:#x}, +{len(data)}) crosses a line boundary; "
+                "the hierarchy splits accesses before they reach L1"
+            )
+        entry = self._access_entry(base, False)
+        record = entry.payload.store(offset, data, base_address=base)
         if record is None:
-            self._mark_dirty(base)
+            entry.dirty = True
         return record
 
     def cform(self, request: CformRequest) -> None:
@@ -67,9 +79,9 @@ class L1DataCache(CacheLevel[BitvectorLine]):
         Raises :class:`~repro.core.exceptions.CformUsageError` on K-map
         violations; the line is untouched in that case.
         """
-        line = self.access_line(request.line_address, for_write=False)
-        apply_cform(line, request)
-        self._mark_dirty(request.line_address)
+        entry = self._access_entry(request.line_address, False)
+        apply_cform(entry.payload, request)
+        entry.dirty = True
 
     def peek_secmask(self, address: int) -> int | None:
         """Security mask of a resident line, or None if not cached.
@@ -80,17 +92,3 @@ class L1DataCache(CacheLevel[BitvectorLine]):
         entry = self._sets[set_index].get(tag)
         return entry.payload.secmask if entry is not None else None
 
-    def _mark_dirty(self, address: int) -> None:
-        set_index, tag = self.geometry.locate(address)
-        self._sets[set_index][tag].dirty = True
-
-    @staticmethod
-    def _split(address: int, size: int) -> tuple[int, int]:
-        base = address & ~(bv.LINE_SIZE - 1)
-        offset = address - base
-        if offset + size > bv.LINE_SIZE:
-            raise ValueError(
-                f"access [{address:#x}, +{size}) crosses a line boundary; "
-                "the hierarchy splits accesses before they reach L1"
-            )
-        return base, offset

@@ -1,0 +1,94 @@
+"""Timing loop shared by every perf scenario.
+
+Follows the conventional warmup-then-measure shape: ``warmup`` unrecorded
+iterations bring caches, memoization tables and the interpreter's inline
+caches to steady state, then ``iterations`` timed repetitions produce a
+sample distribution summarised as ops/sec plus p50/p95 latencies.  All
+timing uses :func:`time.perf_counter`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+from dataclasses import asdict, dataclass
+from time import perf_counter
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Summary statistics for one measured scenario."""
+
+    name: str
+    iterations: int
+    warmup: int
+    ops_per_iteration: int
+    total_s: float
+    mean_s: float
+    min_s: float
+    max_s: float
+    p50_s: float
+    p95_s: float
+    ops_per_sec: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Linear-interpolation percentile of ``samples`` (``fraction`` in [0, 1])."""
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def run_timed(
+    func: Callable[[], object],
+    *,
+    name: str,
+    iterations: int,
+    warmup: int,
+    ops_per_iteration: int = 1,
+) -> BenchResult:
+    """Time ``func`` and summarise the per-iteration sample distribution."""
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    for _ in range(warmup):
+        func()
+    samples: list[float] = []
+    for _ in range(iterations):
+        started = perf_counter()
+        func()
+        samples.append(perf_counter() - started)
+    total = sum(samples)
+    mean = total / iterations
+    return BenchResult(
+        name=name,
+        iterations=iterations,
+        warmup=warmup,
+        ops_per_iteration=ops_per_iteration,
+        total_s=total,
+        mean_s=mean,
+        min_s=min(samples),
+        max_s=max(samples),
+        p50_s=percentile(samples, 0.50),
+        p95_s=percentile(samples, 0.95),
+        ops_per_sec=(ops_per_iteration / mean) if mean > 0 else float("inf"),
+    )
+
+
+def profile_into(func: Callable[[], object], path: str, iterations: int) -> None:
+    """Run ``func`` under cProfile and dump the stats to ``path``."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(iterations):
+        func()
+    profiler.disable()
+    profiler.dump_stats(path)

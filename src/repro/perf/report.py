@@ -1,0 +1,67 @@
+"""Machine-readable benchmark reports: the ``BENCH_*.json`` trajectory.
+
+One report per harness run.  Reports accumulate under
+``benchmarks/trajectory/`` so successive PRs leave an auditable speedup
+record; BENCHMARKS.md documents the schema and reading guide.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.perf.harness import BenchResult
+
+#: Bump when the JSON layout changes shape (additive changes don't count).
+SCHEMA_VERSION = 1
+
+#: Default location of the checked-in trajectory.
+DEFAULT_OUTPUT_DIR = os.path.join("benchmarks", "trajectory")
+
+
+def build_report(
+    results: list[BenchResult],
+    *,
+    label: str,
+    iterations_override: int | None = None,
+    warmup_override: int | None = None,
+    quick: bool = False,
+) -> dict:
+    """Assemble the report dictionary for one harness run."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "quick": quick,
+        "overrides": {
+            "iterations": iterations_override,
+            "warmup": warmup_override,
+        },
+        "scenarios": {result.name: result.to_dict() for result in results},
+    }
+
+
+def write_report(report: dict, output_dir: str = DEFAULT_OUTPUT_DIR) -> str:
+    """Write ``BENCH_<label>.json`` into ``output_dir``; return the path."""
+    os.makedirs(output_dir, exist_ok=True)
+    label = report["label"]
+    path = os.path.join(output_dir, f"BENCH_{label}.json")
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def default_label() -> str:
+    """Filesystem-safe UTC timestamp label, e.g. ``20260726T081500Z``."""
+    return time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+
+
+def load_report(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
