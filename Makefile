@@ -3,7 +3,11 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-quick bench-profile experiments experiments-full
+#: Scratch directory for the trace-demo target.
+TRACE_DEMO_DIR := /tmp/repro-trace-demo
+
+.PHONY: test bench bench-quick bench-smoke bench-profile experiments \
+        experiments-full trace-demo
 
 ## Tier-1 verification: the full test + microbenchmark session.
 test:
@@ -17,6 +21,9 @@ bench:
 bench-quick:
 	$(PY) -m repro.perf --quick --no-write
 
+## CI alias for the smoke run (the workflow gate).
+bench-smoke: bench-quick
+
 ## Full run plus cProfile dumps under benchmarks/trajectory/profiles/.
 bench-profile:
 	$(PY) -m repro.perf --profile $(BENCH_ARGS)
@@ -28,3 +35,17 @@ experiments:
 ## Full-fidelity experiments, parallelised across 4 worker processes.
 experiments-full:
 	$(PY) -m repro.experiments.runner --full --jobs 4
+
+## Trace engine end-to-end: record -> info -> shard -> parallel replay.
+trace-demo:
+	rm -rf $(TRACE_DEMO_DIR)
+	mkdir -p $(TRACE_DEMO_DIR)
+	$(PY) -m repro.traces list
+	$(PY) -m repro.traces record --scenario server-churn \
+		--instructions 8000 --out $(TRACE_DEMO_DIR)/server-churn.trace
+	$(PY) -m repro.traces info $(TRACE_DEMO_DIR)/server-churn.trace
+	$(PY) -m repro.traces replay $(TRACE_DEMO_DIR)/server-churn.trace
+	$(PY) -m repro.traces shard $(TRACE_DEMO_DIR)/server-churn.trace \
+		--out-dir $(TRACE_DEMO_DIR)/shards --shards 4
+	$(PY) -m repro.traces replay-shards $(TRACE_DEMO_DIR)/shards/*.trace --jobs 2
+	$(PY) -m repro.traces replay $(TRACE_DEMO_DIR)/server-churn.trace --mode hierarchy

@@ -2,7 +2,8 @@
 
 The offline evaluation environment has no `wheel` package, so PEP 517
 editable installs fail; this shim lets `pip install -e .` fall back to
-`setup.py develop`.  All metadata lives in pyproject.toml.
+`setup.py develop`.  All project metadata and the src/ package layout
+live in pyproject.toml; keep this file argument-free.
 """
 
 from setuptools import setup

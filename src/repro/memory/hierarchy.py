@@ -60,6 +60,29 @@ class HierarchyConfig:
 WESTMERE = HierarchyConfig()
 
 
+def amat_cycles(
+    config: HierarchyConfig,
+    l1_accesses: int,
+    l1_misses: int,
+    l2_misses: int,
+    l3_misses: int,
+) -> int:
+    """AMAT-style cycle total for a set of cache-event counts.
+
+    The single source of truth for the cycle model: every L1 access pays
+    the L1 latency, each miss at level *k* adds level *k+1*'s latency
+    (extra-latency knobs included).  Used by
+    :meth:`MemoryHierarchy.total_cycles` and by the trace replayer, so
+    the two cannot drift apart.
+    """
+    return (
+        l1_accesses * config.l1_latency
+        + l1_misses * (config.l2_latency + config.l2_extra_cycles)
+        + l2_misses * (config.l3_latency + config.l3_extra_cycles)
+        + l3_misses * config.dram_latency
+    )
+
+
 class MemoryHierarchy:
     """Functional L1/L2/L3/DRAM stack with Califorms semantics.
 
@@ -163,31 +186,59 @@ class MemoryHierarchy:
         not materialised, attribute lookups are hoisted, and single-line
         accesses (the overwhelming majority in real traces) go straight to
         the L1 entry point.
+
+        Edge cases are defined behaviour: an empty (or single-op) trace
+        replays normally — ``[]`` returns 0 without touching any level —
+        and a malformed op (unknown kind, or too few fields) raises
+        :class:`ValueError` identifying the offending position, leaving
+        any earlier ops' effects applied.
         """
+        if not ops:
+            return 0
         l1_load = self.l1.load
         l1_store = self.l1.store
         line_size = bv.LINE_SIZE
         offset_mask = line_size - 1
         violations = 0
-        for op in ops:
-            kind = op[0]
-            address = op[1]
+        for index, op in enumerate(ops):
+            try:
+                kind = op[0]
+                address = op[1]
+            except (IndexError, TypeError):
+                raise ValueError(
+                    f"malformed trace op at index {index}: {op!r} "
+                    "(need (kind, address, size-or-data))"
+                ) from None
             if kind == "L":
-                size = op[2]
+                try:
+                    size = op[2]
+                except IndexError:
+                    raise ValueError(
+                        f"malformed trace op at index {index}: {op!r} "
+                        "(load needs a size)"
+                    ) from None
                 if 0 < size and (address & offset_mask) + size <= line_size:
                     if l1_load(address, size)[1] is not None:
                         violations += 1
                 else:
                     violations += len(self.load(address, size)[1])
             elif kind == "S":
-                data = op[2]
+                try:
+                    data = op[2]
+                except IndexError:
+                    raise ValueError(
+                        f"malformed trace op at index {index}: {op!r} "
+                        "(store needs data)"
+                    ) from None
                 if 0 < len(data) <= line_size - (address & offset_mask):
                     if l1_store(address, data) is not None:
                         violations += 1
                 else:
                     violations += len(self.store(address, data))
             else:
-                raise ValueError(f"unknown trace op kind {kind!r}")
+                raise ValueError(
+                    f"unknown trace op kind {kind!r} at index {index}"
+                )
         return violations
 
     def load_or_raise(self, address: int, size: int) -> bytes:
@@ -250,13 +301,9 @@ class MemoryHierarchy:
 
     def total_cycles(self) -> int:
         """AMAT-style cycle total for all accesses so far."""
-        config = self.config
         l1, l2, l3 = self.l1.stats, self.l2.stats, self.l3.stats
-        return (
-            l1.accesses * config.l1_latency
-            + l1.misses * (config.l2_latency + config.l2_extra_cycles)
-            + l2.misses * (config.l3_latency + config.l3_extra_cycles)
-            + l3.misses * config.dram_latency
+        return amat_cycles(
+            self.config, l1.accesses, l1.misses, l2.misses, l3.misses
         )
 
     def reset_stats(self) -> None:

@@ -18,6 +18,9 @@ Scenario families:
     The functional memory stack: hit path, califormed eviction pressure,
     and a mixed load/store trace replayed through the batched API when
     the hierarchy provides one.
+``trace_record`` / ``trace_file_replay``
+    The trace engine (``repro.traces``): recording a registry scenario
+    to an in-memory trace, and the streaming bit-identical replay of it.
 ``experiment_e2e``
     A small end-to-end slice of the Figure 10 experiment pipeline.
 ``codec_reference``
@@ -201,6 +204,41 @@ def _trace_replay(quick: bool) -> Workload:
     return run_trace, ops
 
 
+def _trace_record(quick: bool) -> Workload:
+    from io import BytesIO
+
+    from repro.traces.recorder import record_spec
+    from repro.traces.registry import corpus_spec
+
+    spec = corpus_spec("allocator-stress").scaled(2_000 if quick else 10_000)
+
+    def record_once() -> None:
+        record_spec(spec, BytesIO())
+
+    return record_once, 1
+
+
+def _trace_file_replay(quick: bool) -> Workload:
+    from io import BytesIO
+
+    from repro.traces.recorder import record_spec
+    from repro.traces.registry import corpus_spec
+    from repro.traces.replayer import replay_timing
+
+    spec = corpus_spec("server-churn").scaled(2_000 if quick else 10_000)
+    buffer = BytesIO()
+    record_spec(spec, buffer)
+    raw = buffer.getvalue()
+
+    def replay_once() -> None:
+        replay_timing(BytesIO(raw))
+
+    from repro.traces.format import TraceReader
+
+    records = TraceReader(BytesIO(raw)).read_footer()["records"]
+    return replay_once, records
+
+
 def _experiment_e2e(quick: bool) -> Workload:
     from repro.experiments import fig10_extra_latency
 
@@ -255,6 +293,20 @@ SCENARIOS: dict[str, Scenario] = {
             "trace_replay",
             "mixed load/store trace through the hierarchy's batched fast loop",
             _trace_replay,
+        ),
+        Scenario(
+            "trace_record",
+            "trace engine: record one allocator-stress run to a memory buffer",
+            _trace_record,
+            default_iterations=10,
+            default_warmup=1,
+        ),
+        Scenario(
+            "trace_file_replay",
+            "trace engine: streaming bit-identical replay of a recorded trace",
+            _trace_file_replay,
+            default_iterations=10,
+            default_warmup=1,
         ),
         Scenario(
             "experiment_e2e",

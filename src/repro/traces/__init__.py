@@ -1,0 +1,52 @@
+"""Trace engine: record, persist, shard and replay memory traces.
+
+Workloads become first-class artifacts: the recorder taps the live
+workload generator and streams its event stream to a compact versioned
+binary format; the replayer reproduces the live run's cycle/exception
+statistics bit-identically from the file; the scenario registry names
+~6 declarative realistic mixes; sharded replay splits a trace at epoch
+boundaries and fans the shards across worker processes with merged
+accounting.  ``python -m repro.traces`` is the CLI
+(record/replay/info/shard/replay-shards/list).
+"""
+
+from repro.traces.format import (
+    TraceFormatError,
+    TraceIntegrityError,
+    TraceReader,
+    TraceWriter,
+)
+from repro.traces.recorder import RecordingSink, record_spec
+from repro.traces.registry import (
+    CORPUS,
+    TraceScenarioSpec,
+    corpus_spec,
+    load_spec,
+)
+from repro.traces.replayer import (
+    MergedReplay,
+    ShardStats,
+    replay_hierarchy,
+    replay_shards,
+    replay_timing,
+    shard_trace,
+)
+
+__all__ = [
+    "CORPUS",
+    "MergedReplay",
+    "RecordingSink",
+    "ShardStats",
+    "TraceFormatError",
+    "TraceIntegrityError",
+    "TraceReader",
+    "TraceScenarioSpec",
+    "TraceWriter",
+    "corpus_spec",
+    "load_spec",
+    "record_spec",
+    "replay_hierarchy",
+    "replay_shards",
+    "replay_timing",
+    "shard_trace",
+]

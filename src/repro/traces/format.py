@@ -1,0 +1,282 @@
+"""The Califorms trace format: compact, versioned, streamable.
+
+A trace file is a persisted workload — the exact event stream one
+:func:`repro.workloads.generator.run_trace` run pushed through the cache
+ladder, plus enough metadata to rebuild the run and verify the replay.
+
+Layout (all integers little-endian)::
+
+    magic    8 bytes   b"CALTRC01" (version is part of the magic)
+    u32      header length in bytes
+    JSON     header: scenario spec, cache geometry, format constants
+    records  13-byte packed records, ``<BQI`` = (kind, address, arg)
+    record   terminator: kind=0xFF, address=0, arg=<footer length>
+    JSON     footer: summary statistics of the recorded run
+
+Record kinds are the generator's ``EV_*`` event stream (re-exported
+here): LOAD/STORE are single cache touches (``arg`` = access size in
+bytes, informational for timing replay, load/store width for hierarchy
+replay); CFORM is one (de)allocation-side califorming that expands to
+``arg`` line touches at ``address + i*64``; ALLOC/FREE carry the carved
+object size and touch nothing; WARM marks the end-of-warmup counter
+reset; EPOCH markers sit between bursts and are the only legal shard
+split points.
+
+Both :class:`TraceWriter` and :class:`TraceReader` stream: the writer
+buffers a bounded number of packed records before flushing, the reader
+iterates the file in fixed-size chunks — neither ever holds a full trace
+in memory, so traces are bounded by disk, not by RAM.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO, Iterator
+
+from repro.workloads.generator import (  # noqa: F401  (re-exported)
+    EV_ALLOC,
+    EV_CFORM,
+    EV_EPOCH,
+    EV_FREE,
+    EV_LOAD,
+    EV_STORE,
+    EV_WARM,
+)
+
+#: Bump the trailing digits when the binary layout changes shape.
+MAGIC = b"CALTRC01"
+
+#: Terminator record kind; its ``arg`` is the footer's byte length.
+EV_END = 0xFF
+
+#: One record: kind (u8), address (u64), arg (u32).
+RECORD = struct.Struct("<BQI")
+RECORD_SIZE = RECORD.size
+
+#: Human-readable names, for ``info`` output and error messages.
+KIND_NAMES = {
+    EV_LOAD: "load",
+    EV_STORE: "store",
+    EV_ALLOC: "alloc",
+    EV_FREE: "free",
+    EV_CFORM: "cform",
+    EV_WARM: "warm",
+    EV_EPOCH: "epoch",
+}
+
+_HEADER_LEN = struct.Struct("<I")
+
+
+class TraceFormatError(ValueError):
+    """Raised for malformed trace files (bad magic, truncation, ...)."""
+
+
+class TraceIntegrityError(ValueError):
+    """Raised when a replay's recomputed statistics contradict the footer."""
+
+
+class TraceWriter:
+    """Streaming writer: header up front, records appended, footer last.
+
+    ``target`` is a path or a binary file object (e.g. ``io.BytesIO``).
+    Use as a context manager, or call :meth:`close` with the footer::
+
+        with TraceWriter("x.trace", header) as writer:
+            writer.append(EV_LOAD, 0x1000, 8)
+            ...
+            writer.set_footer({"records": writer.record_count})
+    """
+
+    #: Packed records buffered before a file write (~64 KB).
+    FLUSH_RECORDS = 5000
+
+    def __init__(self, target: str | BinaryIO, header: dict):
+        self.header = dict(header)
+        # Serialise before opening: a non-JSON-able header must not
+        # leave an empty file (or a leaked descriptor) behind.
+        header_bytes = json.dumps(self.header, sort_keys=True).encode("utf-8")
+        if isinstance(target, str):
+            self._file: BinaryIO = open(target, "wb")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self.record_count = 0
+        self._footer: dict | None = None
+        self._buffer: list[bytes] = []
+        self._pack = RECORD.pack
+        try:
+            self._file.write(MAGIC)
+            self._file.write(_HEADER_LEN.pack(len(header_bytes)))
+            self._file.write(header_bytes)
+        except BaseException:
+            if self._owns_file:
+                self._file.close()
+            raise
+
+    def append(self, kind: int, address: int, arg: int) -> None:
+        """Append one record.  This is the generator sink's hot call."""
+        self._buffer.append(self._pack(kind, address, arg))
+        self.record_count += 1
+        if len(self._buffer) >= self.FLUSH_RECORDS:
+            self._file.write(b"".join(self._buffer))
+            self._buffer.clear()
+
+    def set_footer(self, footer: dict) -> None:
+        """Provide the summary written after the terminator record."""
+        self._footer = dict(footer)
+
+    def close(self) -> None:
+        footer_bytes = json.dumps(
+            self._footer or {}, sort_keys=True
+        ).encode("utf-8")
+        self._buffer.append(self._pack(EV_END, 0, len(footer_bytes)))
+        self._file.write(b"".join(self._buffer))
+        self._buffer.clear()
+        self._file.write(footer_bytes)
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def abort(self) -> None:
+        """Close without writing a terminator/footer (error cleanup).
+
+        The file is left deliberately invalid-on-read; callers should
+        unlink it.
+        """
+        self._buffer.clear()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+class TraceReader:
+    """Streaming reader over a trace file or binary file object.
+
+    ``header`` is available immediately; :meth:`records` yields
+    ``(kind, address, arg)`` tuples without materialising the trace;
+    ``footer`` is populated once iteration reaches the terminator (or by
+    :meth:`read_footer`, which drains the stream).
+    """
+
+    #: Bytes per read; chosen as a multiple of the record size so chunk
+    #: boundaries never split a record.
+    CHUNK_RECORDS = 8192
+
+    def __init__(self, source: str | BinaryIO):
+        if isinstance(source, str):
+            self._file: BinaryIO = open(source, "rb")
+            self._owns_file = True
+        else:
+            self._file = source
+            self._owns_file = False
+        try:
+            magic = self._file.read(len(MAGIC))
+            if magic != MAGIC:
+                raise TraceFormatError(
+                    f"not a Califorms trace (magic {magic!r}, wanted {MAGIC!r})"
+                )
+            try:
+                (header_len,) = _HEADER_LEN.unpack(
+                    self._file.read(_HEADER_LEN.size)
+                )
+            except struct.error:
+                raise TraceFormatError("truncated trace header length") from None
+            header_bytes = self._file.read(header_len)
+            if len(header_bytes) != header_len:
+                raise TraceFormatError("truncated trace header")
+            try:
+                self.header: dict = json.loads(header_bytes)
+            except json.JSONDecodeError as error:
+                raise TraceFormatError(
+                    f"corrupt trace header JSON: {error}"
+                ) from None
+        except BaseException:
+            # Malformed input must not leak the descriptor we opened.
+            if self._owns_file:
+                self._file.close()
+            raise
+        self.footer: dict | None = None
+        self._records_iter: Iterator[tuple[int, int, int]] | None = None
+
+    def records(self) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(kind, address, arg)`` until the terminator record.
+
+        Leaves :attr:`footer` populated.  Raises
+        :class:`TraceFormatError` if the file ends without a terminator
+        (a crashed or still-recording writer).
+
+        The stream is single-pass: repeated calls return the *same*
+        iterator (so a partially consumed iteration can be resumed, and
+        :meth:`read_footer` drains from wherever iteration stopped
+        without losing the chunk buffered by the suspended generator).
+        """
+        if self._records_iter is None:
+            self._records_iter = self._iter_records()
+        return self._records_iter
+
+    def _iter_records(self) -> Iterator[tuple[int, int, int]]:
+        chunk_bytes = self.CHUNK_RECORDS * RECORD_SIZE
+        unpack_from = RECORD.unpack_from
+        pending = b""
+        while True:
+            chunk = pending + self._file.read(chunk_bytes)
+            if not chunk:
+                raise TraceFormatError("trace ends without a terminator record")
+            usable = len(chunk) - (len(chunk) % RECORD_SIZE)
+            for offset in range(0, usable, RECORD_SIZE):
+                kind, address, arg = unpack_from(chunk, offset)
+                if kind == EV_END:
+                    tail = chunk[offset + RECORD_SIZE :]
+                    self._read_footer_bytes(arg, tail)
+                    return
+                yield kind, address, arg
+            pending = chunk[usable:]
+            if usable == 0:
+                raise TraceFormatError("truncated trace record")
+
+    def _read_footer_bytes(self, length: int, already_read: bytes) -> None:
+        footer_bytes = already_read[:length]
+        if len(footer_bytes) < length:
+            footer_bytes += self._file.read(length - len(footer_bytes))
+        if len(footer_bytes) != length:
+            raise TraceFormatError("truncated trace footer")
+        self.footer = json.loads(footer_bytes)
+
+    def read_footer(self) -> dict:
+        """Drain remaining records and return the footer summary.
+
+        Safe mid-iteration: it continues the shared :meth:`records`
+        iterator rather than re-reading the file.
+        """
+        if self.footer is None:
+            for _ in self.records():
+                pass
+        if self.footer is None:
+            raise TraceFormatError("trace ends without a terminator record")
+        return self.footer
+
+    def close(self) -> None:
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_header(path: str) -> dict:
+    """Cheaply read just the header of a trace file."""
+    with TraceReader(path) as reader:
+        return reader.header

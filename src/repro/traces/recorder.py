@@ -1,0 +1,126 @@
+"""Recorder: tap a live generator run and persist its event stream.
+
+The generator owns the workload logic; the recorder only listens.  A
+:class:`RecordingSink` is handed to :func:`run_trace` as its ``sink`` —
+it appends one record per cache touch / allocation event to a streaming
+:class:`~repro.traces.format.TraceWriter` and drops an EPOCH marker
+every ``epoch_bursts`` bursts (the shard split points).  The sink never
+consumes the generator's RNG, so a recorded run is bit-identical to an
+unrecorded one — :func:`record_spec` returns the live
+:class:`~repro.workloads.generator.RunResult` alongside the trace it
+wrote, and the footer stores that result's statistics for replay-time
+verification.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.memory.hierarchy import WESTMERE, HierarchyConfig
+from repro.traces.format import EV_EPOCH, MAGIC, TraceWriter
+from repro.traces.registry import SPEC_VERSION, TraceScenarioSpec
+from repro.workloads.generator import RunResult, run_trace
+
+
+class RecordingSink:
+    """The generator-side tap feeding a :class:`TraceWriter`."""
+
+    __slots__ = ("append", "_writer", "_epoch_bursts", "_bursts", "_epochs")
+
+    def __init__(self, writer: TraceWriter, epoch_bursts: int):
+        self._writer = writer
+        #: Bound method exposed directly so the generator's hot wrappers
+        #: call the writer with no intermediate frame.
+        self.append = writer.append
+        self._epoch_bursts = epoch_bursts
+        self._bursts = 0
+        self._epochs = 0
+
+    def burst(self) -> None:
+        """Generator signal: one burst (+ its churn) just finished."""
+        self._bursts += 1
+        if self._bursts % self._epoch_bursts == 0:
+            self.append(EV_EPOCH, self._epochs, 0)
+            self._epochs += 1
+
+    @property
+    def epochs(self) -> int:
+        return self._epochs
+
+
+def _geometry_dict(config: HierarchyConfig) -> dict:
+    return {
+        "l1": [config.l1_geometry.size_bytes, config.l1_geometry.associativity],
+        "l2": [config.l2_geometry.size_bytes, config.l2_geometry.associativity],
+        "l3": [config.l3_geometry.size_bytes, config.l3_geometry.associativity],
+        "latencies": [
+            config.l1_latency, config.l2_latency,
+            config.l3_latency, config.dram_latency,
+        ],
+        # Figure 10's pessimistic-latency knobs: without these the
+        # replayed cycle model would silently differ from the recorded
+        # config's.
+        "extra_cycles": [config.l2_extra_cycles, config.l3_extra_cycles],
+    }
+
+
+def record_spec(
+    spec: TraceScenarioSpec,
+    target,
+    config: HierarchyConfig = WESTMERE,
+) -> RunResult:
+    """Record one registry scenario to ``target`` (path or file object).
+
+    Runs the generator live with the recording sink attached and returns
+    the live :class:`RunResult`; the trace's footer carries the result's
+    statistics so any replay can verify itself against the recording.
+    """
+    header = {
+        "format": MAGIC.decode("ascii"),
+        "spec_version": SPEC_VERSION,
+        "spec": spec.to_dict(),
+        "geometry": _geometry_dict(config),
+    }
+    try:
+        return _record_to_writer(spec, target, config, header)
+    except BaseException:
+        # A failed/interrupted recording must not leave a terminator-less
+        # file behind for a later replay glob to choke on.
+        if isinstance(target, str):
+            try:
+                os.remove(target)
+            except OSError:
+                pass
+        raise
+
+
+def _record_to_writer(spec, target, config, header) -> RunResult:
+    with TraceWriter(target, header) as writer:
+        sink = RecordingSink(writer, spec.epoch_bursts)
+        result = run_trace(
+            spec.profile,
+            spec.build_scenario(),
+            instructions=spec.instructions,
+            seed=spec.seed,
+            config=config,
+            warmup_fraction=spec.warmup_fraction,
+            sink=sink,
+            quarantine_delay=spec.quarantine_delay,
+        )
+        writer.set_footer(
+            {
+                "benchmark": result.benchmark,
+                "instructions": result.instructions,
+                "cform_instructions": result.cform_instructions,
+                "alloc_events": result.alloc_events,
+                "events": {
+                    "l1_accesses": result.events.l1_accesses,
+                    "l1_misses": result.events.l1_misses,
+                    "l2_misses": result.events.l2_misses,
+                    "l3_misses": result.events.l3_misses,
+                },
+                "records": writer.record_count,
+                "epochs": sink.epochs,
+            }
+        )
+    return result

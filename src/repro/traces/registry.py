@@ -1,0 +1,244 @@
+"""Declarative scenario registry for the trace engine.
+
+A :class:`TraceScenarioSpec` is a plain, JSON-serialisable document that
+pins *everything* a recorded run depends on: the synthetic benchmark
+profile, the Califorms scenario (insertion policy, CFORM on/off, padding
+range, layout seed), the RNG seed, the trace length, the warmup fraction
+and the allocator's quarantine depth.  Recording the same spec twice
+yields byte-identical traces; replaying a trace reproduces the live
+run's statistics exactly (the round-trip invariant the test suite
+enforces).
+
+The built-in :data:`CORPUS` holds six named realistic mixes, spanning
+the axes the paper's SPEC suite spans — allocation churn, streaming
+scans, pointer chasing, quarantine pressure and DMA-style bulk traffic —
+so experiments can share persisted workloads instead of re-synthesising
+them per figure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields, replace
+
+from repro.softstack.insertion import Policy
+from repro.workloads.generator import Scenario
+from repro.workloads.specs import SPEC_PROFILES, BenchmarkProfile
+
+#: Bump when the spec document gains/renames required keys.
+SPEC_VERSION = 1
+
+
+def policy_to_str(policy: Policy | tuple[str, int] | None) -> str | None:
+    """Serialise a generator policy to its registry string form."""
+    if policy is None:
+        return None
+    if isinstance(policy, tuple):
+        return f"fixed:{policy[1]}"
+    return policy.value
+
+
+def policy_from_str(text: str | None) -> Policy | tuple[str, int] | None:
+    """Parse ``None``, ``"fixed:N"`` or a :class:`Policy` value name."""
+    if text is None:
+        return None
+    if text.startswith("fixed:"):
+        return ("fixed", int(text.split(":", 1)[1]))
+    try:
+        return Policy(text)
+    except ValueError:
+        known = ", ".join(p.value for p in Policy)
+        raise ValueError(
+            f"unknown policy {text!r}; expected one of {known}, "
+            "'fixed:N' or null"
+        ) from None
+
+
+@dataclass(frozen=True)
+class TraceScenarioSpec:
+    """One declarative workload document (see module docstring)."""
+
+    name: str
+    description: str
+    profile: BenchmarkProfile
+    policy: str | None = None
+    with_cform: bool = False
+    min_bytes: int = 1
+    max_bytes: int = 7
+    binary_seed: int = 0
+    seed: int = 0
+    instructions: int = 40_000
+    warmup_fraction: float = 1.0
+    quarantine_delay: int = 16
+    #: Bursts per epoch; epochs are the shard split granularity.
+    epoch_bursts: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("spec needs a name")
+        if self.instructions <= 0:
+            raise ValueError("instructions must be positive")
+        if self.warmup_fraction < 0:
+            raise ValueError("warmup_fraction cannot be negative")
+        if self.quarantine_delay < 0:
+            raise ValueError("quarantine_delay cannot be negative")
+        if self.epoch_bursts <= 0:
+            raise ValueError("epoch_bursts must be positive")
+        policy_from_str(self.policy)  # validates eagerly
+
+    def build_scenario(self) -> Scenario:
+        """The generator-level scenario this spec pins down."""
+        return Scenario(
+            policy=policy_from_str(self.policy),
+            with_cform=self.with_cform,
+            min_bytes=self.min_bytes,
+            max_bytes=self.max_bytes,
+            binary_seed=self.binary_seed,
+        )
+
+    def scaled(self, instructions: int) -> "TraceScenarioSpec":
+        """The same mix at a different trace length (quick modes, tests)."""
+        return replace(self, instructions=instructions)
+
+    # -- JSON round-trip -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        document = asdict(self)  # deep: converts the nested profile too
+        document["spec_version"] = SPEC_VERSION
+        return document
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "TraceScenarioSpec":
+        document = dict(document)
+        version = document.pop("spec_version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"spec version {version} not supported (expected {SPEC_VERSION})"
+            )
+        try:
+            profile = document.pop("profile")
+        except KeyError:
+            raise ValueError("spec document needs a 'profile'") from None
+        known = {f.name for f in fields(cls)} - {"profile"}
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown spec key(s) {unknown}; known: {sorted(known)}"
+            )
+        missing = sorted({"name", "description"} - set(document))
+        if missing:
+            raise ValueError(f"spec document missing required key(s) {missing}")
+        if isinstance(profile, str):
+            profile = SPEC_PROFILES[profile]
+        elif isinstance(profile, dict):
+            profile = BenchmarkProfile(**profile)
+        return cls(profile=profile, **document)
+
+
+def load_spec(path: str) -> TraceScenarioSpec:
+    """Load a user-authored JSON spec document."""
+    with open(path) as handle:
+        return TraceScenarioSpec.from_dict(json.load(handle))
+
+
+def _profile(name: str, **kwargs) -> BenchmarkProfile:
+    return BenchmarkProfile(name=name, **kwargs)
+
+
+#: The six named realistic mixes.  Profile constants follow the same
+#: calibration logic as ``workloads.specs`` (heap size pins the cache-
+#: ladder position, alloc rate drives CFORM cost, scan/skew shape
+#: locality); each mix stresses one axis the SPEC profiles only touch
+#: in passing.
+CORPUS: dict[str, TraceScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        TraceScenarioSpec(
+            name="server-churn",
+            description="request/response server: hot struct set, steady "
+            "malloc churn, opportunistic policy with CFORM",
+            profile=_profile(
+                "server-churn", heap_kb=900, allocs_per_kinst=8.0,
+                mem_ratio=0.41, locality_skew=0.30, scan_fraction=0.20,
+                burst_length=6, stack_fraction=0.25, struct_fraction=0.65,
+                ptr_array_fraction=0.35, raw_buffer_bytes=256,
+                overlap=4.2, base_cpi=0.82,
+            ),
+            policy="opportunistic", with_cform=True, seed=11,
+        ),
+        TraceScenarioSpec(
+            name="allocator-stress",
+            description="allocator-bound: very high alloc/free rate on "
+            "small structs, full policy with CFORM",
+            profile=_profile(
+                "allocator-stress", heap_kb=400, allocs_per_kinst=14.0,
+                mem_ratio=0.40, locality_skew=0.25, scan_fraction=0.15,
+                burst_length=4, stack_fraction=0.30, struct_fraction=0.80,
+                ptr_array_fraction=0.40, raw_buffer_bytes=128,
+                overlap=4.8, base_cpi=0.80,
+            ),
+            policy="full", with_cform=True, seed=22,
+        ),
+        TraceScenarioSpec(
+            name="scan-heavy",
+            description="streaming kernels over large raw buffers "
+            "(lbm-like); layout inflation only, no CFORM",
+            profile=_profile(
+                "scan-heavy", heap_kb=4096, allocs_per_kinst=0.4,
+                mem_ratio=0.42, locality_skew=0.70, scan_fraction=0.90,
+                burst_length=16, stack_fraction=0.05, struct_fraction=0.15,
+                ptr_array_fraction=0.15, raw_buffer_bytes=16384,
+                overlap=6.0, base_cpi=0.72,
+            ),
+            policy="opportunistic", with_cform=False, seed=33,
+        ),
+        TraceScenarioSpec(
+            name="pointer-chase",
+            description="mcf-like dependent pointer walks with poor "
+            "locality, intelligent policy with CFORM",
+            profile=_profile(
+                "pointer-chase", heap_kb=3072, allocs_per_kinst=1.5,
+                mem_ratio=0.44, locality_skew=0.75, scan_fraction=0.05,
+                burst_length=4, stack_fraction=0.05, struct_fraction=0.55,
+                ptr_array_fraction=0.60, raw_buffer_bytes=256,
+                overlap=3.2, base_cpi=0.90,
+            ),
+            policy="intelligent", with_cform=True, seed=44,
+        ),
+        TraceScenarioSpec(
+            name="quarantine-pressure",
+            description="high churn through a deep deallocation "
+            "quarantine — address reuse delayed, cold-miss pressure",
+            profile=_profile(
+                "quarantine-pressure", heap_kb=600, allocs_per_kinst=10.0,
+                mem_ratio=0.40, locality_skew=0.35, scan_fraction=0.20,
+                burst_length=5, stack_fraction=0.20, struct_fraction=0.70,
+                ptr_array_fraction=0.30, raw_buffer_bytes=256,
+                overlap=4.0, base_cpi=0.82,
+            ),
+            policy="full", with_cform=True, seed=55, quarantine_delay=256,
+        ),
+        TraceScenarioSpec(
+            name="dma-mixed",
+            description="DMA-style bulk streaming interleaved with struct "
+            "field traffic, opportunistic policy with CFORM",
+            profile=_profile(
+                "dma-mixed", heap_kb=2048, allocs_per_kinst=2.0,
+                mem_ratio=0.42, locality_skew=0.55, scan_fraction=0.60,
+                burst_length=16, stack_fraction=0.05, struct_fraction=0.45,
+                ptr_array_fraction=0.30, raw_buffer_bytes=8192,
+                overlap=5.0, base_cpi=0.76,
+            ),
+            policy="opportunistic", with_cform=True, seed=66,
+        ),
+    )
+}
+
+
+def corpus_spec(name: str) -> TraceScenarioSpec:
+    """Look up a built-in scenario by name."""
+    try:
+        return CORPUS[name]
+    except KeyError:
+        known = ", ".join(sorted(CORPUS))
+        raise KeyError(f"unknown trace scenario {name!r}; known: {known}") from None

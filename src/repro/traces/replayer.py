@@ -1,0 +1,485 @@
+"""Replay engines: trace file → statistics, single-process or sharded.
+
+Three consumers of the record stream:
+
+:func:`replay_timing`
+    Rebuilds the tag-only cache ladder from the recorded geometry and
+    pushes every touch through it — the same work the live generator
+    did, minus the RNG and heap bookkeeping.  Returns a
+    :class:`~repro.workloads.generator.RunResult` that is bit-identical
+    to the live run's (verified against the footer unless disabled), so
+    every timing figure can run from a persisted trace.
+
+:func:`replay_hierarchy`
+    Drives the data-carrying :class:`MemoryHierarchy` through its
+    batched :meth:`replay_trace` entry point, interpreting CFORM records
+    as security-byte sets on the touched lines — exception accounting
+    (violations) plus AMAT cycles for the same stream.
+
+:func:`shard_trace` / :func:`replay_shards`
+    Splits a trace into per-epoch-range shard files (EPOCH markers are
+    the only legal split points, so allocation-event clusters are never
+    torn) and replays the shards across worker processes with merged
+    accounting.  Each shard replays against a cold ladder — the regions
+    are independent, SimPoint-style, and warmup markers are ignored so
+    the counted records depend only on the trace, not the partition —
+    so merged statistics are identical whether the shards run serially
+    or in parallel, and the linear AMAT model makes merged cycles equal
+    the cycles of the merged counts.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.cpu.pipeline import MemoryEventCounts
+from repro.memory.cache import CacheGeometry, TagOnlyCache
+from repro.memory.hierarchy import (
+    HierarchyConfig,
+    MemoryHierarchy,
+    amat_cycles,
+)
+from repro.traces.format import (
+    EV_ALLOC,
+    EV_CFORM,
+    EV_EPOCH,
+    EV_FREE,
+    EV_LOAD,
+    EV_STORE,
+    EV_WARM,
+    KIND_NAMES,
+    TraceFormatError,
+    TraceIntegrityError,
+    TraceReader,
+    TraceWriter,
+)
+from repro.traces.registry import TraceScenarioSpec
+from repro.workloads.generator import RunResult
+
+#: Ops accumulated before one ``replay_trace`` batch in hierarchy mode.
+HIERARCHY_BATCH_OPS = 2048
+
+#: Byte offsets califormed per line when a CFORM record is replayed
+#: through the data-carrying hierarchy.  The generator's CFORM events
+#: price dummy stores, not a concrete mask; the replayer pins the span
+#: to the line tail so violation accounting is deterministic.
+CFORM_REPLAY_OFFSETS = (62, 63)
+
+
+def _config_from_header(header: dict) -> HierarchyConfig:
+    try:
+        geometry = header["geometry"]
+        l1_lat, l2_lat, l3_lat, dram_lat = geometry["latencies"]
+        l2_extra, l3_extra = geometry.get("extra_cycles", (0, 0))
+        return HierarchyConfig(
+            l1_geometry=CacheGeometry(*geometry["l1"]),
+            l2_geometry=CacheGeometry(*geometry["l2"]),
+            l3_geometry=CacheGeometry(*geometry["l3"]),
+            l1_latency=l1_lat,
+            l2_latency=l2_lat,
+            l3_latency=l3_lat,
+            dram_latency=dram_lat,
+            l2_extra_cycles=l2_extra,
+            l3_extra_cycles=l3_extra,
+        )
+    except KeyError as missing:
+        raise TraceFormatError(
+            f"trace header missing {missing} — not a recorder-written trace?"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Accounting for one replayed shard (or one whole trace)."""
+
+    events: MemoryEventCounts
+    touches: int
+    cform_lines: int
+    alloc_events: int
+    violations: int
+    amat_cycles: int
+
+    def merged_with(self, other: "ShardStats") -> "ShardStats":
+        return ShardStats(
+            events=MemoryEventCounts(
+                l1_accesses=self.events.l1_accesses + other.events.l1_accesses,
+                l1_misses=self.events.l1_misses + other.events.l1_misses,
+                l2_misses=self.events.l2_misses + other.events.l2_misses,
+                l3_misses=self.events.l3_misses + other.events.l3_misses,
+            ),
+            touches=self.touches + other.touches,
+            cform_lines=self.cform_lines + other.cform_lines,
+            alloc_events=self.alloc_events + other.alloc_events,
+            violations=self.violations + other.violations,
+            amat_cycles=self.amat_cycles + other.amat_cycles,
+        )
+
+
+@dataclass(frozen=True)
+class MergedReplay:
+    """Summed accounting of a multi-shard replay."""
+
+    shards: int
+    stats: ShardStats
+
+
+def _amat_cycles(config: HierarchyConfig, events: MemoryEventCounts) -> int:
+    return amat_cycles(
+        config,
+        events.l1_accesses,
+        events.l1_misses,
+        events.l2_misses,
+        events.l3_misses,
+    )
+
+
+def _replay_timing_stream(reader: TraceReader, honor_warm: bool = True) -> ShardStats:
+    """Push one record stream through a cold tag-only ladder.
+
+    ``honor_warm`` replays EV_WARM as the live run's counter reset —
+    required for bit-identical full-trace replay.  Shard (region) replay
+    passes ``False``: a region is self-contained, so every record counts
+    and the merged accounting depends only on the record stream, not on
+    which shard happens to contain the warmup boundary.
+    """
+    config = _config_from_header(reader.header)
+    l1 = TagOnlyCache(config.l1_geometry)
+    l2 = TagOnlyCache(config.l2_geometry)
+    l3 = TagOnlyCache(config.l3_geometry)
+    l1_access, l2_access, l3_access = l1.access, l2.access, l3.access
+    touches = 0
+    cform_lines = 0
+    alloc_events = 0
+    for kind, address, arg in reader.records():
+        if kind == EV_LOAD or kind == EV_STORE:
+            touches += 1
+            if not l1_access(address):
+                if not l2_access(address):
+                    l3_access(address)
+        elif kind == EV_CFORM:
+            cform_lines += arg
+            for line_index in range(arg):
+                line_address = address + line_index * 64
+                touches += 1
+                if not l1_access(line_address):
+                    if not l2_access(line_address):
+                        l3_access(line_address)
+        elif kind == EV_ALLOC:
+            alloc_events += 1
+        elif kind == EV_FREE or kind == EV_EPOCH:
+            pass
+        elif kind == EV_WARM:
+            if honor_warm:
+                l1.reset_counters()
+                l2.reset_counters()
+                l3.reset_counters()
+                touches = 0
+                cform_lines = 0
+                alloc_events = 0
+        else:
+            raise TraceFormatError(f"unknown record kind {kind}")
+    events = MemoryEventCounts(
+        l1_accesses=l1.accesses,
+        l1_misses=l1.misses,
+        l2_misses=l2.misses,
+        l3_misses=l3.misses,
+    )
+    return ShardStats(
+        events=events,
+        touches=touches,
+        cform_lines=cform_lines,
+        alloc_events=alloc_events,
+        violations=0,
+        amat_cycles=_amat_cycles(config, events),
+    )
+
+
+def replay_timing(source, verify: bool = True, with_footer: bool = False):
+    """Replay a full trace through fresh tag caches; return its RunResult.
+
+    With ``verify`` (the default) the recomputed event counts and the
+    CFORM/allocation accounting are checked against the footer the
+    recorder wrote; any divergence raises :class:`TraceIntegrityError`.
+    The returned result is bit-identical to the live run's.  With
+    ``with_footer`` the return value is ``(result, footer)`` so callers
+    needing footer metadata (record counts, ...) avoid a second pass
+    over the file.
+
+    Only whole recorded traces carry the run summary this reconstructs;
+    for shard files use :func:`replay_shards` (region accounting).
+    """
+    with TraceReader(source) as reader:
+        stats = _replay_timing_stream(reader)
+        footer = reader.read_footer()
+        if "benchmark" not in footer:
+            kind = footer.get("kind", "unknown")
+            raise TraceFormatError(
+                f"not a whole recorded trace (footer kind {kind!r}): "
+                "no run summary to reconstruct — replay shard files with "
+                "replay-shards / replay_shards()"
+            )
+        try:
+            spec_document = reader.header["spec"]
+        except KeyError:
+            raise TraceFormatError(
+                "trace header missing 'spec' — not a recorder-written trace?"
+            ) from None
+        spec = TraceScenarioSpec.from_dict(spec_document)
+    recorded_events = footer.get("events")
+    if verify and recorded_events is None:
+        raise TraceIntegrityError(
+            "footer carries no recorded events to verify against; "
+            "pass verify=False to replay anyway"
+        )
+    try:
+        if verify:
+            replayed = {
+                "l1_accesses": stats.events.l1_accesses,
+                "l1_misses": stats.events.l1_misses,
+                "l2_misses": stats.events.l2_misses,
+                "l3_misses": stats.events.l3_misses,
+            }
+            if replayed != recorded_events:
+                raise TraceIntegrityError(
+                    f"replayed cache events {replayed} != "
+                    f"recorded {recorded_events}"
+                )
+            if stats.cform_lines != footer["cform_instructions"]:
+                raise TraceIntegrityError(
+                    f"replayed {stats.cform_lines} CFORM lines, "
+                    f"recorded {footer['cform_instructions']}"
+                )
+            if stats.alloc_events != footer["alloc_events"]:
+                raise TraceIntegrityError(
+                    f"replayed {stats.alloc_events} allocation events, "
+                    f"recorded {footer['alloc_events']}"
+                )
+        result = RunResult(
+            benchmark=footer["benchmark"],
+            scenario=spec.build_scenario(),
+            instructions=footer["instructions"],
+            events=stats.events,
+            cform_instructions=stats.cform_lines,
+            alloc_events=stats.alloc_events,
+        )
+    except KeyError as missing:
+        raise TraceFormatError(
+            f"trace footer missing {missing} — foreign or partially "
+            "written recording"
+        ) from None
+    return (result, footer) if with_footer else result
+
+
+def _replay_hierarchy_stream(
+    reader: TraceReader, honor_warm: bool = True
+) -> ShardStats:
+    """Drive the data-carrying hierarchy via batched ``replay_trace``.
+
+    ``honor_warm`` as in :func:`_replay_timing_stream`.
+    """
+    from repro.core.cform import CformRequest
+
+    config = _config_from_header(reader.header)
+    hierarchy = MemoryHierarchy(config)
+    replay_batch = hierarchy.replay_trace
+    cform = hierarchy.cform
+    ops: list[tuple] = []
+    violations = 0
+    touches = 0
+    cform_lines = 0
+    alloc_events = 0
+    for kind, address, arg in reader.records():
+        if kind == EV_LOAD:
+            ops.append(("L", address, arg))
+            touches += 1
+            if len(ops) >= HIERARCHY_BATCH_OPS:
+                violations += replay_batch(ops)
+                ops = []
+        elif kind == EV_STORE:
+            ops.append(("S", address, bytes([address & 0xFF]) * arg))
+            touches += 1
+            if len(ops) >= HIERARCHY_BATCH_OPS:
+                violations += replay_batch(ops)
+                ops = []
+        elif kind == EV_CFORM:
+            if ops:
+                violations += replay_batch(ops)
+                ops = []
+            cform_lines += arg
+            for line_index in range(arg):
+                line_address = (address + line_index * 64) & ~63
+                # Object churn re-califorms reused lines; CFORM-set on an
+                # already-set byte is an architectural usage error, so
+                # only the still-clear offsets are set.
+                current = hierarchy.secmask_of(line_address)
+                wanted = [
+                    offset
+                    for offset in CFORM_REPLAY_OFFSETS
+                    if not (current >> offset) & 1
+                ]
+                if wanted:
+                    cform(CformRequest.set_bytes(line_address, wanted))
+                touches += 1
+        elif kind == EV_ALLOC:
+            alloc_events += 1
+        elif kind == EV_FREE or kind == EV_EPOCH:
+            pass
+        elif kind == EV_WARM:
+            if honor_warm:
+                if ops:
+                    violations += replay_batch(ops)
+                    ops = []
+                hierarchy.reset_stats()
+                violations = 0
+                touches = 0
+                cform_lines = 0
+                alloc_events = 0
+        else:
+            raise TraceFormatError(f"unknown record kind {kind}")
+    if ops:
+        violations += replay_batch(ops)
+    events = MemoryEventCounts(
+        l1_accesses=hierarchy.l1.stats.accesses,
+        l1_misses=hierarchy.l1.stats.misses,
+        l2_misses=hierarchy.l2.stats.misses,
+        l3_misses=hierarchy.l3.stats.misses,
+    )
+    return ShardStats(
+        events=events,
+        touches=touches,
+        cform_lines=cform_lines,
+        alloc_events=alloc_events,
+        violations=violations,
+        amat_cycles=hierarchy.total_cycles(),
+    )
+
+
+def replay_hierarchy(source) -> ShardStats:
+    """Full-fidelity replay: data movement, exceptions, AMAT cycles."""
+    with TraceReader(source) as reader:
+        stats = _replay_hierarchy_stream(reader)
+        reader.read_footer()
+    return stats
+
+
+# -- sharding ----------------------------------------------------------------
+
+
+def shard_trace(path: str, out_dir: str, shards: int) -> list[str]:
+    """Split ``path`` into ``shards`` contiguous per-epoch-range files.
+
+    EPOCH markers (inserted between bursts by the recorder) are the only
+    split points, so a shard never tears an allocation event's
+    FREE/ALLOC/CFORM cluster.  Each shard is itself a valid trace file
+    carrying the original header plus a ``shard`` stanza; shard footers
+    hold per-shard record counts (events are recomputed at replay — a
+    cold ladder per shard, SimPoint-style).
+    """
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    with TraceReader(path) as reader:
+        footer = reader.read_footer()
+    epochs = footer.get("epochs", 0)
+    segments = epochs + 1  # trailing records after the last marker
+    per_shard = max(1, -(-segments // shards))
+    os.makedirs(out_dir, exist_ok=True)
+    base = os.path.splitext(os.path.basename(path))[0]
+
+    reader = TraceReader(path)
+    writers: list[TraceWriter] = []
+    counts: list[dict] = []
+    paths: list[str] = []
+    completed = False
+    try:
+        for index in range(shards):
+            header = dict(reader.header)
+            header["shard"] = {"index": index, "of": shards}
+            shard_path = os.path.join(out_dir, f"{base}.shard{index:03d}.trace")
+            writers.append(TraceWriter(shard_path, header))
+            counts.append({KIND_NAMES[k]: 0 for k in KIND_NAMES})
+            paths.append(shard_path)
+        segment = 0
+        for kind, address, arg in reader.records():
+            name = KIND_NAMES.get(kind)
+            if name is None:
+                raise TraceFormatError(f"unknown record kind {kind}")
+            shard_index = min(segment // per_shard, shards - 1)
+            writers[shard_index].append(kind, address, arg)
+            counts[shard_index][name] += 1
+            if kind == EV_EPOCH:
+                segment += 1
+        for index, writer in enumerate(writers):
+            writer.set_footer(
+                {
+                    "kind": "shard",
+                    "shard": {"index": index, "of": shards},
+                    "records": writer.record_count,
+                    "counts": counts[index],
+                    "source_records": footer.get("records"),
+                }
+            )
+            writer.close()
+        completed = True
+    finally:
+        reader.close()
+        if not completed:
+            # A failed split must not leave terminator-less shard files
+            # behind for a later replay-shards glob to choke on.
+            for writer, shard_path in zip(writers, paths):
+                writer.abort()
+                try:
+                    os.remove(shard_path)
+                except OSError:
+                    pass
+    return paths
+
+
+def _replay_shard_worker(task: tuple[str, str]) -> ShardStats:
+    """Process-pool entry point: replay one shard (region) file.
+
+    Region semantics: EV_WARM does not reset counters here, so the
+    merged accounting covers every record in the stream and is a
+    function of the trace alone — the shard count only moves the cold
+    cache boundaries.
+    """
+    shard_path, mode = task
+    with TraceReader(shard_path) as reader:
+        if mode == "hierarchy":
+            stats = _replay_hierarchy_stream(reader, honor_warm=False)
+        else:
+            stats = _replay_timing_stream(reader, honor_warm=False)
+        reader.read_footer()
+    return stats
+
+
+def replay_shards(
+    shard_paths: list[str], jobs: int = 1, mode: str = "timing"
+) -> MergedReplay:
+    """Replay shard files (serially or across processes) and merge.
+
+    ``jobs`` only changes wall-clock time: each shard replays against
+    its own cold ladder, so the merged accounting is identical for any
+    worker count — the invariant the round-trip tests pin down.
+
+    Region semantics: EV_WARM markers are ignored (no counter reset),
+    so every record in the stream is counted and the merged touch/
+    CFORM/allocation totals are independent of the shard count; only
+    the cache-boundary effects (cold starts per region) move with the
+    partition.
+    """
+    if mode not in ("timing", "hierarchy"):
+        raise ValueError(f"unknown replay mode {mode!r}")
+    if not shard_paths:
+        raise ValueError("no shard files to replay")
+    tasks = [(path, mode) for path in shard_paths]
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_replay_shard_worker, tasks))
+    else:
+        results = [_replay_shard_worker(task) for task in tasks]
+    merged = results[0]
+    for stats in results[1:]:
+        merged = merged.merged_with(stats)
+    return MergedReplay(shards=len(results), stats=merged)

@@ -20,6 +20,13 @@ and plays it through the tag-only cache hierarchy:
 The same seed produces the *same logical event stream* across scenarios,
 so two runs differ only through layout inflation and CFORM work — the two
 effects the paper decomposes in Figure 11.
+
+The generator is also the producer for the trace engine
+(:mod:`repro.traces`): pass a recording ``sink`` to :func:`run_trace`
+and the exact event stream (every cache touch, CFORM, alloc/free and
+the warmup boundary) is emitted as ``EV_*`` records, from which a
+replayer reproduces this run's statistics bit-identically without the
+RNG or the heap.
 """
 
 from __future__ import annotations
@@ -47,6 +54,23 @@ from repro.workloads.structs_corpus import HEAP_TYPE_POOL
 #: mask construction) — Section 8.2's "calculate the number of dummy
 #: stores and the address they access".
 CFORM_SETUP_INSTRUCTIONS = 6
+
+# -- recorded event stream ---------------------------------------------------
+#
+# The generator is the producer of the trace-engine event stream
+# (``repro.traces``), so the event kinds are defined here and re-exported
+# by ``repro.traces.format``.  One LOAD/STORE event per cache touch; one
+# CFORM event per (de)allocation-side califorming (it expands to
+# ``lines`` line touches at replay); ALLOC/FREE carry no touches; WARM
+# marks the end-of-warmup counter reset; EPOCH markers are inserted by
+# the recording sink between bursts and delimit shard boundaries.
+EV_LOAD = 0
+EV_STORE = 1
+EV_ALLOC = 2
+EV_FREE = 3
+EV_CFORM = 4
+EV_WARM = 5
+EV_EPOCH = 6
 
 #: Fixed per-allocation-event hook cost when CFORM support is compiled in
 #: (malloc interposition, type-info lookup, locating the padding bytes).
@@ -225,6 +249,8 @@ def run_trace(
     seed: int = 0,
     config: HierarchyConfig = WESTMERE,
     warmup_fraction: float = 1.0,
+    sink=None,
+    quarantine_delay: int = 16,
 ) -> RunResult:
     """Simulate one benchmark run under one scenario.
 
@@ -236,6 +262,17 @@ def run_trace(
     statistics discarded, so measured numbers reflect warm caches rather
     than cold-start effects — the role SimPoint region selection plays in
     the paper's methodology (Section 8.1).
+
+    ``sink`` is the trace-engine tap (``repro.traces``): an object with
+    ``append(kind, address, arg)`` and ``burst()`` methods receiving the
+    ``EV_*`` event stream.  When ``None`` (the default) the un-instrumented
+    touch functions are used and the run costs nothing extra.  The sink
+    must not consume ``rng`` — the recorded run must be bit-identical to
+    an unrecorded one.
+
+    ``quarantine_delay`` sizes the allocator's deallocation quarantine
+    (events held before an address becomes reusable); the default matches
+    the historical built-in.
     """
     rng = random.Random(f"{profile.name}:{seed}")
     catalog = build_type_catalog(scenario)
@@ -254,11 +291,28 @@ def run_trace(
             if not l2.access(address):
                 l3.access(address)
 
+    # Recording wrappers: when no sink is attached these *are* ``touch``,
+    # so the hot loops pay nothing; with a sink each touch first appends
+    # its event so a replayer can reproduce the exact access sequence.
+    if sink is None:
+        record = None
+        touch_load = touch_store = touch
+    else:
+        record = sink.append
+
+        def touch_load(address: int) -> None:
+            record(EV_LOAD, address, 8)
+            touch(address)
+
+        def touch_store(address: int) -> None:
+            record(EV_STORE, address, 8)
+            touch(address)
+
     # -- heap population ----------------------------------------------------
     # The live set targets ``heap_kb`` at *baseline* sizes, so every
     # scenario simulates the same logical objects; protected layouts then
     # inflate the same population.
-    heap = _FastHeap()
+    heap = _FastHeap(quarantine_delay=quarantine_delay)
     objects: list[tuple[int, int, int]] = []  # (address, type_index, raw_size)
     baseline_bytes = 0
     target_bytes = profile.heap_kb * 1024
@@ -285,7 +339,7 @@ def run_trace(
     for address, type_index, raw_size in objects:
         size = raw_size if type_index < 0 else catalog[type_index].size
         for line_offset in range(0, max(size, 1), 64):
-            touch(address + line_offset)
+            touch_load(address + line_offset)
 
     object_count = len(objects)
     skew_exponent = 1.0 / profile.locality_skew
@@ -304,6 +358,8 @@ def run_trace(
     def cform_object(address: int, lines: int) -> None:
         """Issue the CFORM work for one (de)allocation of an object."""
         nonlocal cform_instructions, overhead_instructions
+        if record is not None:
+            record(EV_CFORM, address, lines)
         for line_index in range(lines):
             touch(address + line_index * 64)
         cform_instructions += lines
@@ -326,13 +382,15 @@ def run_trace(
             overhead_instructions = 0.0
             cform_instructions = 0
             alloc_events = 0
+            if record is not None:
+                record(EV_WARM, 0, 0)
         app_instructions += burst_instructions
 
         target = rng.random()
         if target < profile.stack_fraction:
             base = _STACK_BASE + int(rng.random() * _STACK_HOT_BYTES)
             for access in range(profile.burst_length):
-                touch(base + access * 8)
+                touch_store(base + access * 8)
         else:
             index = int(object_count * rng.random() ** skew_exponent)
             address, type_index, raw_size = objects[
@@ -343,16 +401,16 @@ def run_trace(
                     raw_size if type_index < 0 else catalog[type_index].size
                 )
                 for access in range(profile.burst_length):
-                    touch(address + (access * 8) % max(size, 8))
+                    touch_load(address + (access * 8) % max(size, 8))
             else:
                 if type_index < 0:
                     span = max(raw_size - 8, 1)
                     for access in range(profile.burst_length):
-                        touch(address + int(rng.random() * span))
+                        touch_load(address + int(rng.random() * span))
                 else:
                     offsets = catalog[type_index].field_offsets
                     for access in range(profile.burst_length):
-                        touch(address + offsets[rng.randrange(len(offsets))])
+                        touch_load(address + offsets[rng.randrange(len(offsets))])
 
         # Allocation/free churn at the profile's rate.
         alloc_accumulator += profile.allocs_per_kinst * burst_instructions / 1000.0
@@ -365,6 +423,9 @@ def run_trace(
                 carved = align_up(raw_size, 16)
                 heap.release(address, carved)
                 new_address = heap.place(carved)
+                if record is not None:
+                    record(EV_FREE, address, carved)
+                    record(EV_ALLOC, new_address, carved)
                 objects[victim] = (new_address, -1, raw_size)
                 continue
             info = catalog[type_index]
@@ -372,11 +433,18 @@ def run_trace(
             if run_hook:
                 overhead_instructions += ALLOC_HOOK_INSTRUCTIONS
                 cform_object(address, info.cform_lines)  # free side
+            if record is not None:
+                record(EV_FREE, address, info.carved)
             heap.release(address, info.carved)
             new_address = heap.place(info.carved)
+            if record is not None:
+                record(EV_ALLOC, new_address, info.carved)
             if run_hook:
                 cform_object(new_address, info.cform_lines)  # alloc side
             objects[victim] = (new_address, type_index, 0)
+
+        if sink is not None:
+            sink.burst()
 
     return RunResult(
         benchmark=profile.name,

@@ -165,6 +165,50 @@ class TestCycleAccounting:
         assert slow.total_cycles() > plain.total_cycles()
 
 
+class TestReplayTraceEdgeCases:
+    """Defined behaviour for degenerate traces (trace-engine hardening)."""
+
+    def test_empty_trace_returns_zero_without_touching_caches(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.replay_trace([]) == 0
+        assert hierarchy.l1.stats.accesses == 0
+
+    def test_single_load_op(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.replay_trace([("L", 0x1000, 8)]) == 0
+
+    def test_single_store_op_on_security_byte_counts_one_violation(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.cform(CformRequest.set_bytes(0x2000, [5]))
+        assert hierarchy.replay_trace([("S", 0x2005, b"x")]) == 1
+
+    def test_unknown_kind_raises_value_error_with_index(self):
+        hierarchy = MemoryHierarchy()
+        with pytest.raises(ValueError, match="unknown trace op kind 'X' at index 1"):
+            hierarchy.replay_trace([("L", 0, 8), ("X", 0, 8)])
+
+    def test_malformed_short_op_raises_value_error(self):
+        hierarchy = MemoryHierarchy()
+        with pytest.raises(ValueError, match="malformed trace op at index 0"):
+            hierarchy.replay_trace([("L",)])
+        with pytest.raises(ValueError, match="load needs a size"):
+            hierarchy.replay_trace([("L", 0x1000)])
+        with pytest.raises(ValueError, match="store needs data"):
+            hierarchy.replay_trace([("S", 0x1000)])
+
+    def test_earlier_ops_apply_before_the_error(self):
+        hierarchy = MemoryHierarchy()
+        with pytest.raises(ValueError):
+            hierarchy.replay_trace([("S", 0x3000, b"ok"), ("X", 0, 0)])
+        assert hierarchy.load_or_raise(0x3000, 2) == b"ok"
+
+    def test_zero_and_negative_sizes_keep_defined_behaviour(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.replay_trace([("L", 0x1000, 0)]) == 0
+        with pytest.raises(ValueError):
+            hierarchy.replay_trace([("L", 0x1000, -4)])
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     writes=st.lists(

@@ -1,0 +1,121 @@
+"""Unit tests for the binary trace format's streaming writer/reader."""
+
+import io
+
+import pytest
+
+from repro.traces.format import (
+    EV_CFORM,
+    EV_LOAD,
+    EV_STORE,
+    MAGIC,
+    RECORD_SIZE,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+    read_header,
+)
+
+
+def _write_sample(target, records, header=None, footer=None):
+    with TraceWriter(target, header or {"kind": "test"}) as writer:
+        for kind, address, arg in records:
+            writer.append(kind, address, arg)
+        writer.set_footer(footer or {"records": len(records)})
+
+
+class TestRoundTrip:
+    def test_records_survive(self):
+        records = [
+            (EV_LOAD, 0x1000, 8),
+            (EV_STORE, 0x7FFF_0000, 8),
+            (EV_CFORM, 0xDEAD_BEEF_0000, 3),
+        ]
+        buffer = io.BytesIO()
+        _write_sample(buffer, records)
+        buffer.seek(0)
+        reader = TraceReader(buffer)
+        assert reader.header == {"kind": "test"}
+        assert list(reader.records()) == records
+        assert reader.footer == {"records": 3}
+
+    def test_empty_trace(self):
+        buffer = io.BytesIO()
+        _write_sample(buffer, [])
+        buffer.seek(0)
+        reader = TraceReader(buffer)
+        assert list(reader.records()) == []
+        assert reader.footer == {"records": 0}
+
+    def test_path_based_io(self, tmp_path):
+        path = str(tmp_path / "sample.trace")
+        _write_sample(path, [(EV_LOAD, 64, 8)])
+        assert read_header(path) == {"kind": "test"}
+        with TraceReader(path) as reader:
+            assert reader.read_footer() == {"records": 1}
+
+    def test_streaming_across_flush_boundaries(self):
+        # More records than one writer flush and one reader chunk.
+        count = TraceWriter.FLUSH_RECORDS * 2 + 17
+        records = [(EV_LOAD, index * 64, 8) for index in range(count)]
+        buffer = io.BytesIO()
+        _write_sample(buffer, records)
+        buffer.seek(0)
+        reader = TraceReader(buffer)
+        assert sum(1 for _ in reader.records()) == count
+
+    def test_read_footer_after_partial_iteration(self):
+        """read_footer continues the shared records iterator — breaking
+        out of an iteration must not lose the buffered chunk."""
+        records = [(EV_LOAD, index * 64, 8) for index in range(100)]
+        buffer = io.BytesIO()
+        _write_sample(buffer, records)
+        buffer.seek(0)
+        reader = TraceReader(buffer)
+        consumed = []
+        for record in reader.records():
+            consumed.append(record)
+            if len(consumed) == 5:
+                break
+        assert reader.read_footer() == {"records": 100}
+        # The shared iterator was drained, not restarted.
+        assert consumed == records[:5]
+
+    def test_u64_address_and_u32_arg_bounds(self):
+        records = [(EV_LOAD, 2**64 - 1, 2**32 - 1)]
+        buffer = io.BytesIO()
+        _write_sample(buffer, records)
+        buffer.seek(0)
+        assert list(TraceReader(buffer).records()) == records
+
+
+class TestMalformedFiles:
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError, match="magic"):
+            TraceReader(io.BytesIO(b"NOTATRACE" * 4))
+
+    def test_truncated_header(self):
+        buffer = io.BytesIO(MAGIC + (99).to_bytes(4, "little") + b"{}")
+        with pytest.raises(TraceFormatError, match="header"):
+            TraceReader(buffer)
+
+    def test_missing_terminator(self):
+        buffer = io.BytesIO()
+        _write_sample(buffer, [(EV_LOAD, 0, 8)])
+        # Chop the footer and terminator off.
+        raw = buffer.getvalue()[: -(RECORD_SIZE + 2)]
+        reader = TraceReader(io.BytesIO(raw))
+        with pytest.raises(TraceFormatError):
+            list(reader.records())
+
+    def test_truncated_footer(self):
+        buffer = io.BytesIO()
+        _write_sample(buffer, [], footer={"long": "x" * 100})
+        raw = buffer.getvalue()[:-50]
+        reader = TraceReader(io.BytesIO(raw))
+        with pytest.raises(TraceFormatError, match="footer"):
+            list(reader.records())
+
+    def test_record_size_is_stable(self):
+        # The format spec in BENCHMARKS.md documents 13-byte records.
+        assert RECORD_SIZE == 13

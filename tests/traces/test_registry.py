@@ -1,0 +1,116 @@
+"""Tests for the declarative scenario registry."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.softstack.insertion import Policy
+from repro.traces.registry import (
+    CORPUS,
+    TraceScenarioSpec,
+    corpus_spec,
+    load_spec,
+    policy_from_str,
+    policy_to_str,
+)
+
+
+class TestPolicyStrings:
+    @pytest.mark.parametrize(
+        "policy",
+        [None, Policy.OPPORTUNISTIC, Policy.FULL, Policy.INTELLIGENT, ("fixed", 3)],
+    )
+    def test_round_trip(self, policy):
+        assert policy_from_str(policy_to_str(policy)) == policy
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            policy_from_str("paranoid")
+
+
+class TestCorpus:
+    def test_six_named_mixes(self):
+        assert set(CORPUS) == {
+            "server-churn",
+            "allocator-stress",
+            "scan-heavy",
+            "pointer-chase",
+            "quarantine-pressure",
+            "dma-mixed",
+        }
+
+    def test_lookup(self):
+        assert corpus_spec("scan-heavy").name == "scan-heavy"
+        with pytest.raises(KeyError, match="unknown trace scenario"):
+            corpus_spec("no-such-mix")
+
+    def test_specs_build_generator_scenarios(self):
+        for spec in CORPUS.values():
+            scenario = spec.build_scenario()
+            assert scenario.with_cform == spec.with_cform
+            assert scenario.describe()  # renders without error
+
+    def test_profiles_are_sane(self):
+        for spec in CORPUS.values():
+            profile = spec.profile
+            assert profile.heap_kb > 0
+            assert 0 < profile.mem_ratio < 1
+            assert 0 < profile.locality_skew <= 1
+            assert profile.overlap >= 1
+            assert profile.base_cpi > 0
+
+    def test_seeds_are_distinct(self):
+        seeds = [spec.seed for spec in CORPUS.values()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_quarantine_pressure_deepens_quarantine(self):
+        assert CORPUS["quarantine-pressure"].quarantine_delay > 16
+
+
+class TestSpecDocuments:
+    def test_json_round_trip(self):
+        for spec in CORPUS.values():
+            document = json.loads(json.dumps(spec.to_dict()))
+            assert TraceScenarioSpec.from_dict(document) == spec
+
+    def test_profile_by_spec_name(self):
+        document = CORPUS["server-churn"].to_dict()
+        document["profile"] = "mcf"  # named SPEC profile instead of inline
+        spec = TraceScenarioSpec.from_dict(document)
+        assert spec.profile.name == "mcf"
+
+    def test_load_spec_from_file(self, tmp_path):
+        path = tmp_path / "custom.json"
+        path.write_text(json.dumps(CORPUS["dma-mixed"].to_dict()))
+        assert load_spec(str(path)) == CORPUS["dma-mixed"]
+
+    def test_unsupported_version_rejected(self):
+        document = CORPUS["server-churn"].to_dict()
+        document["spec_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            TraceScenarioSpec.from_dict(document)
+
+    def test_unknown_keys_rejected_with_names(self):
+        document = CORPUS["server-churn"].to_dict()
+        document["instuctions"] = 100  # typo'd key
+        with pytest.raises(ValueError, match="unknown spec key.*instuctions"):
+            TraceScenarioSpec.from_dict(document)
+
+    def test_missing_profile_rejected(self):
+        document = CORPUS["server-churn"].to_dict()
+        del document["profile"]
+        with pytest.raises(ValueError, match="profile"):
+            TraceScenarioSpec.from_dict(document)
+
+    def test_validation(self):
+        spec = CORPUS["server-churn"]
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, instructions=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, policy="bogus")
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, epoch_bursts=0)
+
+    def test_scaled(self):
+        assert corpus_spec("server-churn").scaled(123).instructions == 123

@@ -1,0 +1,120 @@
+"""The round-trip invariant: recorded traces replay bit-identically.
+
+This is the trace engine's acceptance gate: for every scenario in the
+registry, (a) attaching the recorder does not perturb the live run,
+(b) replaying the recorded trace reproduces the live run's cycle and
+event statistics exactly, and (c) sharded replay merges to the same
+accounting at any worker count.
+"""
+
+import io
+
+import pytest
+
+from repro.memory.hierarchy import WESTMERE
+from repro.traces import (
+    CORPUS,
+    record_spec,
+    replay_shards,
+    replay_timing,
+    shard_trace,
+)
+from repro.workloads.generator import run_trace
+
+#: Short traces keep the whole-corpus sweep fast; the invariant is
+#: length-independent.
+INSTRUCTIONS = 5_000
+
+ALL_SCENARIOS = sorted(CORPUS)
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """Record every corpus scenario once; share across tests."""
+    workdir = tmp_path_factory.mktemp("corpus-traces")
+    results = {}
+    for name in ALL_SCENARIOS:
+        spec = CORPUS[name].scaled(INSTRUCTIONS)
+        path = str(workdir / f"{name}.trace")
+        live = record_spec(spec, path)
+        results[name] = (spec, path, live)
+    return results
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_recording_does_not_perturb_the_run(name, recorded):
+    spec, _, live = recorded[name]
+    plain = run_trace(
+        spec.profile,
+        spec.build_scenario(),
+        instructions=spec.instructions,
+        seed=spec.seed,
+        warmup_fraction=spec.warmup_fraction,
+        quarantine_delay=spec.quarantine_delay,
+    )
+    assert plain.events == live.events
+    assert plain.instructions == live.instructions
+    assert plain.cform_instructions == live.cform_instructions
+    assert plain.alloc_events == live.alloc_events
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_replay_is_bit_identical_to_live(name, recorded):
+    spec, path, live = recorded[name]
+    replayed = replay_timing(path)  # verify=True checks the footer too
+    assert replayed.events == live.events
+    assert replayed.instructions == live.instructions
+    assert replayed.cform_instructions == live.cform_instructions
+    assert replayed.alloc_events == live.alloc_events
+    assert replayed.benchmark == live.benchmark
+    # The derived figure quantity — pipeline-model cycles — is therefore
+    # byte-identical as well.
+    assert replayed.cycles(WESTMERE, spec.profile) == live.cycles(
+        WESTMERE, spec.profile
+    )
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_sharded_replay_matches_single_process(name, recorded, tmp_path):
+    _, path, _ = recorded[name]
+    shards = shard_trace(path, str(tmp_path / name), shards=3)
+    serial = replay_shards(shards, jobs=1)
+    parallel = replay_shards(shards, jobs=3)
+    assert serial == parallel
+
+
+def test_recording_twice_yields_identical_bytes():
+    spec = CORPUS["allocator-stress"].scaled(3_000)
+    first, second = io.BytesIO(), io.BytesIO()
+    record_spec(spec, first)
+    record_spec(spec, second)
+    assert first.getvalue() == second.getvalue()
+
+
+def test_shard_merge_covers_all_records(tmp_path):
+    """Shards partition the record stream: merged state-free counts
+    equal the whole-stream region replay's counts (cache events differ —
+    each shard replays against a cold ladder)."""
+    spec = CORPUS["server-churn"].scaled(4_000)
+    path = str(tmp_path / "whole.trace")
+    record_spec(spec, path)
+    shards = shard_trace(path, str(tmp_path / "shards"), shards=4)
+    merged = replay_shards(shards, jobs=1).stats
+    single = replay_shards([path], jobs=1).stats
+    assert merged.touches == single.touches
+    assert merged.cform_lines == single.cform_lines
+    assert merged.alloc_events == single.alloc_events
+
+
+def test_merged_counts_are_partition_independent(tmp_path):
+    """Region replay ignores the warmup marker, so the counted records —
+    and hence the merged touch/CFORM/alloc totals — depend only on the
+    trace, never on the shard count (even for warmup-carrying traces)."""
+    spec = CORPUS["server-churn"].scaled(4_000)  # warmup_fraction=1.0
+    path = str(tmp_path / "warm.trace")
+    record_spec(spec, path)
+    two = replay_shards(shard_trace(path, str(tmp_path / "n2"), 2), jobs=1).stats
+    four = replay_shards(shard_trace(path, str(tmp_path / "n4"), 4), jobs=1).stats
+    assert two.touches == four.touches
+    assert two.cform_lines == four.cform_lines
+    assert two.alloc_events == four.alloc_events
