@@ -3,15 +3,29 @@
 
 PY := PYTHONPATH=src python
 
-#: Scratch directory for the trace-demo target.
-TRACE_DEMO_DIR := /tmp/repro-trace-demo
+#: Scratch directory for the trace-demo targets.  Unset (the default),
+#: each run works in a private mktemp dir and removes it on exit, so
+#: concurrent CI jobs and multi-user machines cannot collide; set it to
+#: keep the produced traces around for inspection.
+TRACE_DEMO_DIR ?=
 
-.PHONY: test bench bench-quick bench-smoke bench-profile experiments \
-        experiments-full trace-demo
+#: Shared recipe prologue for the demo targets: pick the scratch dir
+#: (private mktemp removed on exit, or the kept TRACE_DEMO_DIR).
+DEMO_DIR_SETUP = set -e; dir="$(TRACE_DEMO_DIR)"; \
+	if [ -z "$$dir" ]; then dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	else mkdir -p "$$dir"; fi
+
+.PHONY: test test-slow bench bench-quick bench-smoke bench-profile \
+        experiments experiments-full trace-demo trace-demo-mc
 
 ## Tier-1 verification: the full test + microbenchmark session.
 test:
 	$(PY) -m pytest -x -q
+
+## The minutes-scale figure-regeneration benchmarks (deselected from
+## the default session; CI runs this as its own step).
+test-slow:
+	$(PY) -m pytest -x -q -m slow
 
 ## Record a full BENCH_<timestamp>.json trajectory entry.
 bench:
@@ -37,15 +51,27 @@ experiments-full:
 	$(PY) -m repro.experiments.runner --full --jobs 4
 
 ## Trace engine end-to-end: record -> info -> shard -> parallel replay.
+## Runs in a private mktemp dir (removed on exit) unless TRACE_DEMO_DIR
+## is set, in which case that directory is used and kept.
 trace-demo:
-	rm -rf $(TRACE_DEMO_DIR)
-	mkdir -p $(TRACE_DEMO_DIR)
-	$(PY) -m repro.traces list
+	@$(DEMO_DIR_SETUP); \
+	$(PY) -m repro.traces list; \
 	$(PY) -m repro.traces record --scenario server-churn \
-		--instructions 8000 --out $(TRACE_DEMO_DIR)/server-churn.trace
-	$(PY) -m repro.traces info $(TRACE_DEMO_DIR)/server-churn.trace
-	$(PY) -m repro.traces replay $(TRACE_DEMO_DIR)/server-churn.trace
-	$(PY) -m repro.traces shard $(TRACE_DEMO_DIR)/server-churn.trace \
-		--out-dir $(TRACE_DEMO_DIR)/shards --shards 4
-	$(PY) -m repro.traces replay-shards $(TRACE_DEMO_DIR)/shards/*.trace --jobs 2
-	$(PY) -m repro.traces replay $(TRACE_DEMO_DIR)/server-churn.trace --mode hierarchy
+		--instructions 8000 --out "$$dir/server-churn.trace"; \
+	$(PY) -m repro.traces info "$$dir/server-churn.trace"; \
+	$(PY) -m repro.traces replay "$$dir/server-churn.trace"; \
+	$(PY) -m repro.traces shard "$$dir/server-churn.trace" \
+		--out-dir "$$dir/shards" --shards 4; \
+	$(PY) -m repro.traces replay-shards "$$dir/shards"/*.trace --jobs 2; \
+	$(PY) -m repro.traces replay "$$dir/server-churn.trace" --mode hierarchy
+
+## Multi-core trace engine end-to-end: record a pair, replay it against
+## the shared L3 (2 homogeneous cores, then a named antagonist mix).
+trace-demo-mc:
+	@$(DEMO_DIR_SETUP); \
+	$(PY) -m repro.traces record --scenario server-churn \
+		--instructions 8000 --out "$$dir/server-churn.trace"; \
+	$(PY) -m repro.traces replay-mc "$$dir/server-churn.trace" \
+		--cores 2 --jobs 2; \
+	$(PY) -m repro.traces replay-mc --mix server-vs-scan \
+		--instructions 8000 --jobs 2

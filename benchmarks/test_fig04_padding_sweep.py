@@ -1,6 +1,10 @@
 """Benchmark: regenerate Figure 4 (slowdown vs fixed padding size)."""
 
+import pytest
+
 from repro.experiments import fig04_padding_sweep
+
+pytestmark = pytest.mark.slow  # minutes-scale; deselected from tier-1, run in CI via -m slow
 
 
 def test_fig04_padding_sweep(once):

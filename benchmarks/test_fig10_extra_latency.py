@@ -1,6 +1,10 @@
 """Benchmark: regenerate Figure 10 (+1-cycle L2/L3 latency)."""
 
+import pytest
+
 from repro.experiments import fig10_extra_latency
+
+pytestmark = pytest.mark.slow  # minutes-scale; deselected from tier-1, run in CI via -m slow
 
 
 def test_fig10_extra_latency(once):

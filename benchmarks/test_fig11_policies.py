@@ -1,6 +1,10 @@
 """Benchmark: regenerate Figure 11 (opportunistic & full policies)."""
 
+import pytest
+
 from repro.experiments import fig11_policies
+
+pytestmark = pytest.mark.slow  # minutes-scale; deselected from tier-1, run in CI via -m slow
 
 
 def test_fig11_policies(once):

@@ -1,6 +1,10 @@
 """Benchmark: regenerate Figure 12 (intelligent policy)."""
 
+import pytest
+
 from repro.experiments import fig11_policies, fig12_intelligent
+
+pytestmark = pytest.mark.slow  # minutes-scale; deselected from tier-1, run in CI via -m slow
 
 
 def test_fig12_intelligent(once):

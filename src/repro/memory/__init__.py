@@ -6,6 +6,8 @@
   checks and CFORM execution (Figure 6).
 * :mod:`repro.memory.dram` — main memory with the ECC spare-bit metadata.
 * :mod:`repro.memory.hierarchy` — the Table 3 Westmere-like stack.
+* :mod:`repro.memory.multicore` — N private L1/L2 tag ladders sharing
+  one L3, for multi-programmed replay studies.
 * :mod:`repro.memory.swap` — OS page swap that preserves metadata.
 """
 
@@ -19,6 +21,7 @@ from repro.memory.cache import (
 from repro.memory.dram import Dram, line_address
 from repro.memory.hierarchy import WESTMERE, HierarchyConfig, MemoryHierarchy
 from repro.memory.l1cache import L1DataCache
+from repro.memory.multicore import MultiCoreHierarchy, PrivateLadder, SharedL3
 from repro.memory.swap import (
     LINES_PER_PAGE,
     METADATA_BYTES_PER_PAGE,
@@ -37,6 +40,9 @@ __all__ = [
     "L1DataCache",
     "MemoryHierarchy",
     "HierarchyConfig",
+    "MultiCoreHierarchy",
+    "PrivateLadder",
+    "SharedL3",
     "WESTMERE",
     "SwapManager",
     "PAGE_SIZE",

@@ -18,9 +18,10 @@ Scenario families:
     The functional memory stack: hit path, califormed eviction pressure,
     and a mixed load/store trace replayed through the batched API when
     the hierarchy provides one.
-``trace_record`` / ``trace_file_replay``
+``trace_record`` / ``trace_file_replay`` / ``trace_multicore_replay``
     The trace engine (``repro.traces``): recording a registry scenario
-    to an in-memory trace, and the streaming bit-identical replay of it.
+    to an in-memory trace, the streaming bit-identical replay of it, and
+    the 2-core shared-L3 interleaved replay of an antagonist pair.
 ``experiment_e2e``
     A small end-to-end slice of the Figure 10 experiment pipeline.
 ``codec_reference``
@@ -239,6 +240,29 @@ def _trace_file_replay(quick: bool) -> Workload:
     return replay_once, records
 
 
+def _trace_multicore_replay(quick: bool) -> Workload:
+    from io import BytesIO
+
+    from repro.traces.format import TraceReader
+    from repro.traces.recorder import record_spec
+    from repro.traces.registry import corpus_spec
+    from repro.traces.replayer import replay_multicore
+
+    length = 2_000 if quick else 8_000
+    raws: list[bytes] = []
+    records = 0
+    for name in ("server-churn", "pointer-chase"):
+        buffer = BytesIO()
+        record_spec(corpus_spec(name).scaled(length), buffer)
+        raws.append(buffer.getvalue())
+        records += TraceReader(BytesIO(raws[-1])).read_footer()["records"]
+
+    def replay_once() -> None:
+        replay_multicore([BytesIO(raw) for raw in raws], jobs=1)
+
+    return replay_once, records
+
+
 def _experiment_e2e(quick: bool) -> Workload:
     from repro.experiments import fig10_extra_latency
 
@@ -305,6 +329,13 @@ SCENARIOS: dict[str, Scenario] = {
             "trace_file_replay",
             "trace engine: streaming bit-identical replay of a recorded trace",
             _trace_file_replay,
+            default_iterations=10,
+            default_warmup=1,
+        ),
+        Scenario(
+            "trace_multicore_replay",
+            "2-core shared-L3 replay of a server-churn + pointer-chase pair",
+            _trace_multicore_replay,
             default_iterations=10,
             default_warmup=1,
         ),

@@ -4,10 +4,12 @@ Workloads become first-class artifacts: the recorder taps the live
 workload generator and streams its event stream to a compact versioned
 binary format; the replayer reproduces the live run's cycle/exception
 statistics bit-identically from the file; the scenario registry names
-~6 declarative realistic mixes; sharded replay splits a trace at epoch
-boundaries and fans the shards across worker processes with merged
-accounting.  ``python -m repro.traces`` is the CLI
-(record/replay/info/shard/replay-shards/list).
+~6 declarative realistic mixes (plus named multi-core mixes); sharded
+replay splits a trace at epoch boundaries and fans the shards across
+worker processes with merged accounting; multi-core replay interleaves
+one trace stream per core through private L1/L2 ladders into a shared
+L3 with per-core attribution.  ``python -m repro.traces`` is the CLI
+(record/replay/info/shard/replay-shards/replay-mc/list).
 """
 
 from repro.traces.format import (
@@ -19,14 +21,20 @@ from repro.traces.format import (
 from repro.traces.recorder import RecordingSink, record_spec
 from repro.traces.registry import (
     CORPUS,
+    MULTICORE_MIXES,
+    MulticoreMixSpec,
     TraceScenarioSpec,
     corpus_spec,
+    expand_core_names,
     load_spec,
+    multicore_mix,
 )
 from repro.traces.replayer import (
     MergedReplay,
+    MulticoreReplay,
     ShardStats,
     replay_hierarchy,
+    replay_multicore,
     replay_shards,
     replay_timing,
     shard_trace,
@@ -34,7 +42,10 @@ from repro.traces.replayer import (
 
 __all__ = [
     "CORPUS",
+    "MULTICORE_MIXES",
     "MergedReplay",
+    "MulticoreMixSpec",
+    "MulticoreReplay",
     "RecordingSink",
     "ShardStats",
     "TraceFormatError",
@@ -43,9 +54,12 @@ __all__ = [
     "TraceScenarioSpec",
     "TraceWriter",
     "corpus_spec",
+    "expand_core_names",
     "load_spec",
+    "multicore_mix",
     "record_spec",
     "replay_hierarchy",
+    "replay_multicore",
     "replay_shards",
     "replay_timing",
     "shard_trace",

@@ -2,12 +2,14 @@
 
 Subcommands::
 
-    list                              show the scenario corpus
+    list                              show the scenario corpus (and mixes)
     record  --scenario NAME --out F   record a registry scenario
     info    TRACE                     header + footer summary
     replay  TRACE [--mode ...]        single-process replay
     shard   TRACE --out-dir D -n N    split into N per-epoch-range shards
     replay-shards F... [--jobs N]     replay shards, merged accounting
+    replay-mc F... [--cores N]        multi-core shared-L3 replay, one
+                                      trace per core (or --mix NAME)
 
 Examples::
 
@@ -16,6 +18,8 @@ Examples::
     python -m repro.traces replay sc.trace
     python -m repro.traces shard sc.trace --out-dir shards -n 4
     python -m repro.traces replay-shards shards/*.trace --jobs 4
+    python -m repro.traces replay-mc sc.trace --cores 2 --jobs 2
+    python -m repro.traces replay-mc --mix server-vs-scan --instructions 8000
 
 See the "Scenarios & traces" section of BENCHMARKS.md for the format
 specification and the corpus table.
@@ -24,13 +28,21 @@ specification and the corpus table.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.traces.format import TraceFormatError, TraceIntegrityError, TraceReader
 from repro.traces.recorder import record_spec
-from repro.traces.registry import CORPUS, corpus_spec, load_spec
+from repro.traces.registry import (
+    CORPUS,
+    MULTICORE_MIXES,
+    corpus_spec,
+    load_spec,
+    multicore_mix,
+)
 from repro.traces.replayer import (
     replay_hierarchy,
+    replay_multicore,
     replay_shards,
     replay_timing,
     shard_trace,
@@ -47,6 +59,13 @@ def _cmd_list(arguments: argparse.Namespace) -> int:
             f"{spec.name:{width}s}  {policy:20s} "
             f"seed={spec.seed:<3d} {spec.instructions:>7d} instr  "
             f"{spec.description}"
+        )
+    print()
+    mix_width = max(len(name) for name in MULTICORE_MIXES)
+    for mix in MULTICORE_MIXES.values():
+        print(
+            f"{mix.name:{mix_width}s}  {len(mix.cores)} cores "
+            f"({' + '.join(mix.cores)})  {mix.description}"
         )
     return 0
 
@@ -167,6 +186,52 @@ def _cmd_replay_shards(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _replay_mc_and_print(sources: list, labels: list[str], jobs: int) -> int:
+    replay = replay_multicore(sources, jobs=jobs)
+    for core, stats in enumerate(replay.per_core):
+        _print_stats(stats, f"core {core} ({labels[core]})")
+    _print_stats(replay.merged, f"merged over {replay.cores} cores")
+    return 0
+
+
+def _cmd_replay_mc(arguments: argparse.Namespace) -> int:
+    import tempfile
+
+    if bool(arguments.traces) == bool(arguments.mix):
+        raise ValueError(
+            "replay-mc needs either trace files or --mix NAME (not both)"
+        )
+    jobs = arguments.jobs
+    if arguments.mix:
+        mix = multicore_mix(arguments.mix)
+        specs = mix.specs(arguments.instructions)
+        if arguments.cores is not None:
+            if arguments.cores <= 0:
+                raise ValueError("--cores must be positive")
+            specs = [specs[i % len(specs)] for i in range(arguments.cores)]
+        with tempfile.TemporaryDirectory(prefix="repro-mc-") as workdir:
+            recorded: dict[str, str] = {}
+            sources = []
+            for spec in specs:
+                if spec.name not in recorded:
+                    path = os.path.join(workdir, f"{spec.name}.trace")
+                    record_spec(spec, path)
+                    recorded[spec.name] = path
+                sources.append(recorded[spec.name])
+            return _replay_mc_and_print(
+                sources, [spec.name for spec in specs], jobs
+            )
+    sources = list(arguments.traces)
+    if arguments.cores is not None:
+        if arguments.cores <= 0:
+            raise ValueError("--cores must be positive")
+        # Fewer files than cores: cycle them, the homogeneous
+        # multi-programmed study (N instances of one workload).
+        sources = [sources[i % len(sources)] for i in range(arguments.cores)]
+    labels = [os.path.basename(source) for source in sources]
+    return _replay_mc_and_print(sources, labels, jobs)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.traces",
@@ -218,6 +283,34 @@ def main(argv: list[str] | None = None) -> int:
     rs.add_argument("--jobs", "-j", type=int, default=1)
     rs.add_argument("--mode", choices=("timing", "hierarchy"), default="timing")
 
+    mc = commands.add_parser(
+        "replay-mc",
+        help="multi-core shared-L3 replay: one trace stream per core",
+    )
+    mc.add_argument(
+        "traces", nargs="*",
+        help="one trace file per core (cycled up to --cores when fewer)",
+    )
+    mc.add_argument(
+        "--mix", default=None,
+        help="record and replay a named registry mix instead of files "
+        f"(known: {', '.join(sorted(MULTICORE_MIXES))}; or an inline "
+        "list like 'server-churn,2x pointer-chase')",
+    )
+    mc.add_argument(
+        "--instructions", type=int, default=None,
+        help="trace length per core when recording a --mix",
+    )
+    mc.add_argument(
+        "--cores", "-c", type=int, default=None,
+        help="number of cores (default: one per trace / mix entry)",
+    )
+    mc.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for the per-core ladder phase "
+        "(statistics are identical at any value)",
+    )
+
     arguments = parser.parse_args(argv)
     handler = {
         "list": _cmd_list,
@@ -226,6 +319,7 @@ def main(argv: list[str] | None = None) -> int:
         "replay": _cmd_replay,
         "shard": _cmd_shard,
         "replay-shards": _cmd_replay_shards,
+        "replay-mc": _cmd_replay_mc,
     }[arguments.command]
     try:
         return handler(arguments)

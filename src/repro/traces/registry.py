@@ -19,6 +19,7 @@ them per figure.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import asdict, dataclass, fields, replace
 
 from repro.softstack.insertion import Policy
@@ -242,3 +243,110 @@ def corpus_spec(name: str) -> TraceScenarioSpec:
     except KeyError:
         known = ", ".join(sorted(CORPUS))
         raise KeyError(f"unknown trace scenario {name!r}; known: {known}") from None
+
+
+# -- multi-core mixes ---------------------------------------------------------
+
+_COUNT_PREFIX = re.compile(r"^(\d+)\s*[x*]\s*(.+)$")
+
+
+def expand_core_names(items) -> tuple[str, ...]:
+    """Expand a per-core mix list into one scenario name per core.
+
+    Each item is either a corpus scenario name or a counted form like
+    ``"2x pointer-chase"`` / ``"2*pointer-chase"``; the expansion of
+    ``["server-churn", "2x pointer-chase"]`` is a 3-core list.  Names
+    are validated against the corpus eagerly.
+    """
+    names: list[str] = []
+    for item in items:
+        match = _COUNT_PREFIX.match(item.strip())
+        if match:
+            count, name = int(match.group(1)), match.group(2).strip()
+        else:
+            count, name = 1, item.strip()
+        if count <= 0:
+            raise ValueError(f"core count in {item!r} must be positive")
+        corpus_spec(name)  # validates; raises KeyError naming the corpus
+        names.extend([name] * count)
+    if not names:
+        raise ValueError("a mix needs at least one core")
+    return tuple(names)
+
+
+@dataclass(frozen=True)
+class MulticoreMixSpec:
+    """A named multi-programmed mix: one corpus scenario per core."""
+
+    name: str
+    description: str
+    cores: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("mix needs a name")
+        if not self.cores:
+            raise ValueError("mix needs at least one core")
+
+    def specs(self, instructions: int | None = None) -> list[TraceScenarioSpec]:
+        """Resolve to one :class:`TraceScenarioSpec` per core."""
+        specs = []
+        for scenario_name in self.cores:
+            spec = corpus_spec(scenario_name)
+            if instructions is not None:
+                spec = spec.scaled(instructions)
+            specs.append(spec)
+        return specs
+
+
+#: Named multi-programmed mixes for ``replay-mc`` and the experiments
+#: runner: antagonist pairings chosen so the shared L3 is genuinely
+#: contended (streaming scans evict the churn/chase working sets).
+MULTICORE_MIXES: dict[str, MulticoreMixSpec] = {
+    mix.name: mix
+    for mix in (
+        MulticoreMixSpec(
+            name="duel-pointer-chase",
+            description="two pointer-chase instances thrash the shared L3",
+            cores=expand_core_names(["2x pointer-chase"]),
+        ),
+        MulticoreMixSpec(
+            name="server-vs-scan",
+            description="latency-sensitive server churn next to a "
+            "streaming-scan antagonist",
+            cores=("server-churn", "scan-heavy"),
+        ),
+        MulticoreMixSpec(
+            name="crowded-l3",
+            description="four-core pressure mix: server churn + streaming "
+            "scan + two pointer chasers",
+            cores=expand_core_names(["server-churn", "scan-heavy", "2x pointer-chase"]),
+        ),
+    )
+}
+
+
+def multicore_mix(name: str) -> MulticoreMixSpec:
+    """Look up a named multi-core mix, or parse an inline one.
+
+    ``name`` is either a key of :data:`MULTICORE_MIXES` or an inline
+    per-core list expanded through :func:`expand_core_names` —
+    comma-separated (``"server-churn,2x pointer-chase"``), a single
+    counted entry (``"2x pointer-chase"``), or a bare corpus scenario
+    name (a 1-core mix).  Named mixes take precedence.
+    """
+    if name in MULTICORE_MIXES:
+        return MULTICORE_MIXES[name]
+    try:
+        cores = expand_core_names(
+            [part for part in name.split(",") if part.strip()]
+        )
+    except (KeyError, ValueError):
+        known = ", ".join(sorted(MULTICORE_MIXES))
+        raise KeyError(
+            f"unknown multicore mix {name!r}; known: {known}, "
+            "or an inline list like 'server-churn,2x pointer-chase'"
+        ) from None
+    return MulticoreMixSpec(
+        name="inline", description="inline per-core list", cores=cores
+    )

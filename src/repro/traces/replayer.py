@@ -26,13 +26,26 @@ Three consumers of the record stream:
     so merged statistics are identical whether the shards run serially
     or in parallel, and the linear AMAT model makes merged cycles equal
     the cycles of the merged counts.
+
+:func:`replay_multicore`
+    Feeds one recorded trace (or shard stream) per core through private
+    per-core L1/L2 tag ladders into one shared L3, interleaving the
+    streams round-robin at record granularity.  The work splits at the
+    L2/L3 boundary: each core's private-ladder filtering depends only on
+    its own stream (so ``jobs`` fans the cores across worker processes),
+    while the shared L3 always consumes the deterministically merged
+    per-core miss streams serially — per-core and merged accounting are
+    therefore identical at any worker count, and a 1-core run reproduces
+    the single-ladder replay exactly.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from operator import itemgetter
 
 from repro.cpu.pipeline import MemoryEventCounts
 from repro.memory.cache import CacheGeometry, TagOnlyCache
@@ -41,6 +54,7 @@ from repro.memory.hierarchy import (
     MemoryHierarchy,
     amat_cycles,
 )
+from repro.memory.multicore import PrivateLadder, SharedL3
 from repro.traces.format import (
     EV_ALLOC,
     EV_CFORM,
@@ -483,3 +497,243 @@ def replay_shards(
     for stats in results[1:]:
         merged = merged.merged_with(stats)
     return MergedReplay(shards=len(results), stats=merged)
+
+
+# -- multi-core shared-L3 replay ---------------------------------------------
+#
+# Record streams interleave round-robin at record granularity: the j-th
+# record of core c occupies global slot ``j * cores + c``, so slots from
+# different cores can never collide and the merged order is a pure
+# function of the inputs.  The simulation splits at the L2/L3 boundary:
+#
+#   phase 1 (parallelisable per core)  each core's stream runs through
+#       its own private L1/L2 tag ladder; the residue — the L3 request
+#       stream — is captured as (slot, address) pairs;
+#   phase 2 (always serial)            the per-core L3 request streams
+#       are merged by slot and fed through one shared L3 tag array with
+#       per-core hit/miss attribution.
+#
+# Because phase 1 depends only on one core's records and phase 2 is a
+# deterministic merge, per-core and merged accounting are identical at
+# any ``jobs`` value, and a 1-core run degenerates to the single-ladder
+# replay exactly.
+
+#: Sentinel address in a phase-1 entry list marking a core's warmup
+#: boundary: phase 2 resets that core's shared-L3 attribution there
+#: (contents stay warm), mirroring the single-ladder EV_WARM handling.
+_WARM_RESET = -1
+
+#: Per-core physical-address stride for the shared L3.  Co-running
+#: programs occupy disjoint physical pages, but every recorded trace
+#: uses the generator's one synthetic address space (same heap/stack
+#: bases), so without disambiguation co-runners would constructively
+#: share L3 lines instead of contending.  Each core's L3 requests are
+#: offset by ``core * stride``; the stride is far above any recorded
+#: address and a multiple of every level's way span, so a core's own
+#: set/tag behaviour — and hence every solo statistic — is unchanged.
+_CORE_ADDRESS_STRIDE = 1 << 44
+
+
+@dataclass(frozen=True)
+class _CoreFilter:
+    """Phase-1 output for one core: private-ladder stats + L3 residue."""
+
+    config: HierarchyConfig
+    l1_accesses: int
+    l1_misses: int
+    l2_misses: int
+    touches: int
+    cform_lines: int
+    alloc_events: int
+    entries: list[tuple[int, int]]  # (slot, address | _WARM_RESET)
+
+
+@dataclass(frozen=True)
+class MulticoreReplay:
+    """Accounting of one multi-core shared-L3 replay."""
+
+    cores: int
+    per_core: tuple[ShardStats, ...]
+    merged: ShardStats
+
+
+def _filter_core_stream(
+    core: int, cores: int, sources, config: HierarchyConfig | None
+) -> _CoreFilter:
+    """Phase 1: run one core's record stream through its private ladder.
+
+    ``sources`` is that core's sequence of trace files (paths or binary
+    file objects), replayed as one concatenated stream.  Warm markers
+    are honored for whole recorded traces (counter reset, as in
+    :func:`replay_timing`) and ignored for shard files (region
+    semantics, as in :func:`replay_shards`).
+    """
+    explicit_config = config
+    ladder: PrivateLadder | None = None
+    ladder_access = None
+    entries: list[tuple[int, int]] = []
+    touches = 0
+    cform_lines = 0
+    alloc_events = 0
+    offset = core * _CORE_ADDRESS_STRIDE  # disjoint physical spaces
+    slot = core  # global slot of this core's next record
+    for source in sources:
+        with TraceReader(source) as reader:
+            source_config = _config_from_header(reader.header)
+            if config is None:
+                # No caller override: the first file pins the config a
+                # caller override would otherwise supply; later files of
+                # the same stream must agree or the ladder geometry
+                # would silently misrepresent them.
+                config = source_config
+            elif explicit_config is None and source_config != config:
+                raise TraceFormatError(
+                    "trace files of one core stream were recorded under "
+                    "different hierarchy configurations"
+                )
+            if ladder is None:
+                ladder = PrivateLadder(config)
+                ladder_access = ladder.access
+            honor_warm = "shard" not in reader.header
+            for kind, address, arg in reader.records():
+                if kind == EV_LOAD or kind == EV_STORE:
+                    touches += 1
+                    if not ladder_access(address):
+                        entries.append((slot, address + offset))
+                elif kind == EV_CFORM:
+                    cform_lines += arg
+                    for line_index in range(arg):
+                        line_address = address + line_index * 64
+                        touches += 1
+                        if not ladder_access(line_address):
+                            entries.append((slot, line_address + offset))
+                elif kind == EV_ALLOC:
+                    alloc_events += 1
+                elif kind == EV_FREE or kind == EV_EPOCH:
+                    pass
+                elif kind == EV_WARM:
+                    if honor_warm:
+                        ladder.reset_counters()
+                        touches = 0
+                        cform_lines = 0
+                        alloc_events = 0
+                        entries.append((slot, _WARM_RESET))
+                else:
+                    raise TraceFormatError(f"unknown record kind {kind}")
+                slot += cores
+            reader.read_footer()
+    if ladder is None:  # no sources for this core
+        raise ValueError(f"core {core} has no trace sources")
+    return _CoreFilter(
+        config=config,
+        l1_accesses=ladder.l1.accesses,
+        l1_misses=ladder.l1.misses,
+        l2_misses=ladder.l2.misses,
+        touches=touches,
+        cform_lines=cform_lines,
+        alloc_events=alloc_events,
+        entries=entries,
+    )
+
+
+def _filter_core_worker(task: tuple) -> _CoreFilter:
+    """Process-pool entry point for phase 1 (paths only)."""
+    core, cores, paths, config = task
+    return _filter_core_stream(core, cores, paths, config)
+
+
+def replay_multicore(
+    core_sources: list,
+    jobs: int = 1,
+    config: HierarchyConfig | None = None,
+) -> MulticoreReplay:
+    """Replay one trace stream per core against a shared L3.
+
+    ``core_sources`` holds one entry per core: a trace path (or binary
+    file object), or a list of them replayed as one concatenated stream
+    (e.g. a core's shard files in order).  ``jobs`` fans the per-core
+    private-ladder phase across worker processes — the shared-L3 phase
+    is always the same deterministic serial merge, so the returned
+    accounting is identical for any worker count.  ``config`` overrides
+    the recorded hierarchy configuration (e.g. the Figure-10 pessimistic
+    extra-latency knobs); by default every trace must have been recorded
+    under the same configuration, which is then used.
+
+    Returns per-core :class:`ShardStats` (shared-L3 misses attributed to
+    the requesting core, cycles from the shared AMAT helper) plus their
+    merged sum.
+    """
+    if not core_sources:
+        raise ValueError("no cores to replay")
+    normalized: list[tuple] = []
+    for entry in core_sources:
+        if isinstance(entry, (list, tuple)):
+            normalized.append(tuple(entry))
+        else:
+            normalized.append((entry,))
+    cores = len(normalized)
+    tasks = [
+        (core, cores, sources, config)
+        for core, sources in enumerate(normalized)
+    ]
+    if jobs > 1:
+        if not all(
+            isinstance(source, str)
+            for sources in normalized
+            for source in sources
+        ):
+            raise ValueError(
+                "jobs > 1 requires path sources (file objects cannot "
+                "cross process boundaries)"
+            )
+        with ProcessPoolExecutor(max_workers=min(jobs, cores)) as pool:
+            filters = list(pool.map(_filter_core_worker, tasks))
+    else:
+        filters = [_filter_core_worker(task) for task in tasks]
+    resolved = filters[0].config
+    for core, filtered in enumerate(filters):
+        if filtered.config != resolved:
+            raise TraceFormatError(
+                f"core {core} was recorded under a different hierarchy "
+                "configuration; pass an explicit config override"
+            )
+
+    # Phase 2: deterministic serial merge into the shared L3.  Slots are
+    # unique (slot % cores == core), so the merge order is total and
+    # heapq.merge keeps each core's own entries in stream order.
+    shared = SharedL3(resolved, cores)
+    shared_access = shared.access
+    reset_core = shared.reset_core
+    for slot, address in heapq.merge(
+        *(filtered.entries for filtered in filters), key=itemgetter(0)
+    ):
+        core = slot % cores
+        if address == _WARM_RESET:
+            reset_core(core)
+        else:
+            shared_access(core, address)
+
+    per_core: list[ShardStats] = []
+    for core, filtered in enumerate(filters):
+        events = MemoryEventCounts(
+            l1_accesses=filtered.l1_accesses,
+            l1_misses=filtered.l1_misses,
+            l2_misses=filtered.l2_misses,
+            l3_misses=shared.misses[core],
+        )
+        per_core.append(
+            ShardStats(
+                events=events,
+                touches=filtered.touches,
+                cform_lines=filtered.cform_lines,
+                alloc_events=filtered.alloc_events,
+                violations=0,
+                amat_cycles=_amat_cycles(resolved, events),
+            )
+        )
+    merged = per_core[0]
+    for stats in per_core[1:]:
+        merged = merged.merged_with(stats)
+    return MulticoreReplay(
+        cores=cores, per_core=tuple(per_core), merged=merged
+    )
