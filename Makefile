@@ -15,8 +15,12 @@ DEMO_DIR_SETUP = set -e; dir="$(TRACE_DEMO_DIR)"; \
 	if [ -z "$$dir" ]; then dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
 	else mkdir -p "$$dir"; fi
 
+#: Corpus store root for the corpus-demo target (kept between runs so
+#: the second build demonstrates pure corpus hits; CI caches it).
+CORPUS_DIR ?= .repro-corpus
+
 .PHONY: test test-slow bench bench-quick bench-smoke bench-profile \
-        experiments experiments-full trace-demo trace-demo-mc
+        experiments experiments-full trace-demo trace-demo-mc corpus-demo
 
 ## Tier-1 verification: the full test + microbenchmark session.
 test:
@@ -64,6 +68,16 @@ trace-demo:
 		--out-dir "$$dir/shards" --shards 4; \
 	$(PY) -m repro.traces replay-shards "$$dir/shards"/*.trace --jobs 2; \
 	$(PY) -m repro.traces replay "$$dir/server-churn.trace" --mode hierarchy
+
+## Corpus store end-to-end: build the registry corpus (recording what's
+## missing), list + hash-verify it, rebuild to show pure corpus hits,
+## then gc.  The store persists in CORPUS_DIR across runs.
+corpus-demo:
+	$(PY) -m repro.corpus --root "$(CORPUS_DIR)" build --instructions 8000
+	$(PY) -m repro.corpus --root "$(CORPUS_DIR)" ls
+	$(PY) -m repro.corpus --root "$(CORPUS_DIR)" verify
+	$(PY) -m repro.corpus --root "$(CORPUS_DIR)" build --instructions 8000
+	$(PY) -m repro.corpus --root "$(CORPUS_DIR)" gc
 
 ## Multi-core trace engine end-to-end: record a pair, replay it against
 ## the shared L3 (2 homogeneous cores, then a named antagonist mix).

@@ -8,6 +8,14 @@ aggregation methodology:
 * arithmetic-mean speedup aggregation over the benchmark list
   (Section 8.2, footnote 5),
 * per-figure benchmark sets (19 for Figure 10, 16 for Figures 11/12).
+
+With a ``store`` (a :class:`repro.corpus.CorpusStore`), every
+(benchmark, scenario, seed) cell resolves through the content-addressed
+trace corpus — recorded on first use, replayed bit-identically
+thereafter — so repeated figure runs share one persisted corpus instead
+of re-synthesising their workloads.  The numbers are identical either
+way (the replay round-trip invariant); only where the event stream
+comes from changes.
 """
 
 from __future__ import annotations
@@ -61,17 +69,21 @@ def sweep(
     baseline_config: HierarchyConfig = WESTMERE,
     variant_config: HierarchyConfig | None = None,
     label: str | None = None,
+    store=None,
 ) -> SuiteResult:
     """Run one configuration over a benchmark list.
 
     ``binary_seeds`` generates differently-randomised layouts of the same
     program (the paper compiles three binaries per random-span setup).
+    ``store`` (a :class:`repro.corpus.CorpusStore`) resolves each cell
+    through the recorded-trace corpus instead of live synthesis.
     """
+    compute = slowdown if store is None else store.slowdown
     entries = []
     for name in benchmarks:
         profile = SPEC_PROFILES[name]
         samples = [
-            slowdown(
+            compute(
                 profile,
                 replace(scenario, binary_seed=seed),
                 instructions=instructions,

@@ -1,0 +1,176 @@
+"""CLI for the corpus store: ``python -m repro.corpus``.
+
+Subcommands::
+
+    build   [--scenario NAME ...] [--instructions N]
+            record any registry mixes missing from the store
+    ls      manifest table: scenario, fingerprint, digest, sizes, ratio
+    verify  re-hash every object against its manifest digest
+    gc      drop unreferenced objects and stale manifest entries
+    key     print the registry fingerprint (the CI cache key)
+
+The store root is ``--root``, else ``$REPRO_CORPUS_DIR``, else
+``./.repro-corpus``.  Examples::
+
+    python -m repro.corpus build --instructions 8000
+    python -m repro.corpus ls
+    python -m repro.corpus verify
+    python -m repro.corpus gc
+    python -m repro.corpus key
+
+See the "Corpus & compression" section of BENCHMARKS.md for the store
+layout and measured compression ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.corpus.store import (
+    DEFAULT_ROOT,
+    ENV_ROOT,
+    CorpusStore,
+    registry_fingerprint,
+)
+from repro.traces.format import TraceFormatError
+from repro.traces.registry import CORPUS
+
+
+def _store(arguments: argparse.Namespace) -> CorpusStore:
+    return CorpusStore(arguments.root)
+
+
+def _cmd_build(arguments: argparse.Namespace) -> int:
+    store = _store(arguments)
+    names = arguments.scenario or sorted(CORPUS)
+    unknown = sorted(set(names) - set(CORPUS))
+    if unknown:
+        raise KeyError(
+            f"unknown scenario(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(CORPUS))}"
+        )
+    outcomes = store.build_registry(names, arguments.instructions)
+    width = max(len(outcome.entry.scenario) for outcome in outcomes)
+    for outcome in outcomes:
+        entry = outcome.entry
+        print(
+            f"{entry.scenario:{width}s}  "
+            f"{'recorded' if outcome.built else 'corpus hit':10s} "
+            f"{entry.records:>8d} records  "
+            f"{entry.stored_bytes:>9d} B stored  "
+            f"{entry.compression_ratio:6.1f}x  {entry.digest[:12]}"
+        )
+    print(
+        f"\n{store.built} recorded, {store.hits} reused "
+        f"(root {store.root})"
+    )
+    return 0
+
+
+def _cmd_ls(arguments: argparse.Namespace) -> int:
+    entries = sorted(
+        _store(arguments).manifest().entries.values(),
+        key=lambda entry: entry.scenario,
+    )
+    if not entries:
+        print(f"empty corpus (root {arguments.root})")
+        return 0
+    width = max(len(entry.scenario) for entry in entries)
+    print(
+        f"{'scenario':{width}s}  {'driver':9s} {'instr':>8s} {'records':>8s} "
+        f"{'raw B':>9s} {'stored B':>9s} {'ratio':>6s}  digest"
+    )
+    for entry in entries:
+        print(
+            f"{entry.scenario:{width}s}  {entry.driver:9s} "
+            f"{entry.instructions:>8d} {entry.records:>8d} "
+            f"{entry.raw_bytes:>9d} {entry.stored_bytes:>9d} "
+            f"{entry.compression_ratio:>5.1f}x  {entry.digest[:16]}"
+        )
+    return 0
+
+
+def _cmd_verify(arguments: argparse.Namespace) -> int:
+    store = _store(arguments)
+    entries = len(store.manifest().entries)
+    problems = store.verify()
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        print(
+            f"{len(problems)} problem(s) across {entries} entries",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: {entries} entries, every object hash verified")
+    return 0
+
+
+def _cmd_gc(arguments: argparse.Namespace) -> int:
+    removed = _store(arguments).gc()
+    for item in removed:
+        print(f"removed {item}")
+    print(f"{len(removed)} item(s) removed")
+    return 0
+
+
+def _cmd_key(arguments: argparse.Namespace) -> int:
+    print(registry_fingerprint())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.corpus",
+        description="Build, inspect and verify the content-addressed "
+        "trace corpus.",
+    )
+    parser.add_argument(
+        "--root",
+        default=os.environ.get(ENV_ROOT, DEFAULT_ROOT),
+        help=f"store root (default: ${ENV_ROOT} or {DEFAULT_ROOT})",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser(
+        "build", help="record any registry mixes missing from the store"
+    )
+    build.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="registry mix to build (repeatable; default: all "
+        f"{len(CORPUS)} mixes)",
+    )
+    build.add_argument(
+        "--instructions", type=int, default=None,
+        help="override every spec's trace length",
+    )
+
+    commands.add_parser("ls", help="list manifest entries")
+    commands.add_parser("verify", help="re-hash objects against the manifest")
+    commands.add_parser("gc", help="remove unreferenced objects")
+    commands.add_parser(
+        "key", help="print the registry fingerprint (CI cache key)"
+    )
+
+    arguments = parser.parse_args(argv)
+    handler = {
+        "build": _cmd_build,
+        "ls": _cmd_ls,
+        "verify": _cmd_verify,
+        "gc": _cmd_gc,
+        "key": _cmd_key,
+    }[arguments.command]
+    try:
+        return handler(arguments)
+    except (TraceFormatError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except KeyError as error:
+        parser.error(str(error.args[0]) if error.args else str(error))
+        return 2  # unreachable; parser.error exits
+
+
+if __name__ == "__main__":
+    sys.exit(main())

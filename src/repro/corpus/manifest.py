@@ -1,0 +1,132 @@
+"""The corpus manifest: spec fingerprints bound to trace objects.
+
+The manifest is one JSON document at the store root.  Its ``entries``
+map a **spec fingerprint** (sha256 over the scenario-spec document plus
+the recording geometry — everything that determines the logical event
+stream) to the metadata of the recorded object: the content digest that
+names the object file, record/byte counts and the scenario name.  The
+fingerprint answers "have we recorded this workload?"; the digest
+answers "are the bytes on disk the ones we recorded?" — together they
+make the store reproducible (same spec → same fingerprint → same object)
+and verifiable (``python -m repro.corpus verify``).
+
+Writes are atomic (temp file + ``os.replace``) and serialised through an
+advisory file lock, so parallel experiment sections building overlapping
+corpora converge instead of clobbering each other; a lost race costs at
+worst one redundant re-recording, never a corrupt manifest.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+#: Bump when entry keys change shape.
+MANIFEST_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+LOCK_NAME = "manifest.lock"
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """One recorded workload: spec fingerprint → stored trace object."""
+
+    fingerprint: str
+    scenario: str
+    driver: str
+    instructions: int
+    digest: str  # sha256 of the canonical (CALTRC01) byte stream
+    records: int
+    raw_bytes: int  # canonical v1 stream length
+    stored_bytes: int  # on-disk (compressed) object size
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.raw_bytes / self.stored_bytes if self.stored_bytes else 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "ManifestEntry":
+        return cls(**document)
+
+
+@dataclass
+class Manifest:
+    """All recorded workloads of one store."""
+
+    entries: dict[str, ManifestEntry] = field(default_factory=dict)
+
+    def get(self, fingerprint: str) -> ManifestEntry | None:
+        return self.entries.get(fingerprint)
+
+    def put(self, entry: ManifestEntry) -> None:
+        self.entries[entry.fingerprint] = entry
+
+    def digests(self) -> set[str]:
+        return {entry.digest for entry in self.entries.values()}
+
+
+def load_manifest(path: str) -> Manifest:
+    """Load the manifest, tolerating a missing file (empty store)."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        return Manifest()
+    except json.JSONDecodeError as error:
+        raise ValueError(f"corrupt corpus manifest {path}: {error}") from None
+    version = document.get("manifest_version")
+    if version != MANIFEST_VERSION:
+        raise ValueError(
+            f"corpus manifest {path} has version {version!r} "
+            f"(expected {MANIFEST_VERSION})"
+        )
+    entries = {
+        fingerprint: ManifestEntry.from_dict(entry)
+        for fingerprint, entry in document.get("entries", {}).items()
+    }
+    return Manifest(entries=entries)
+
+
+def save_manifest(manifest: Manifest, path: str) -> None:
+    """Atomically write the manifest (temp file + rename)."""
+    document = {
+        "manifest_version": MANIFEST_VERSION,
+        "entries": {
+            fingerprint: entry.to_dict()
+            for fingerprint, entry in sorted(manifest.entries.items())
+        },
+    }
+    temp_path = f"{path}.tmp.{os.getpid()}"
+    with open(temp_path, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp_path, path)
+
+
+@contextlib.contextmanager
+def manifest_lock(root: str):
+    """Advisory lock serialising read-modify-write manifest updates.
+
+    Uses ``fcntl.flock`` where available (POSIX); elsewhere degrades to
+    no locking — the atomic replace still prevents corruption, a lost
+    race merely re-records one workload later.
+    """
+    try:
+        import fcntl
+    except ImportError:  # non-POSIX: atomic replace is the only guard
+        yield
+        return
+    os.makedirs(root, exist_ok=True)  # gc/verify on a never-built store
+    lock_path = os.path.join(root, LOCK_NAME)
+    with open(lock_path, "a") as lock_file:
+        fcntl.flock(lock_file, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(lock_file, fcntl.LOCK_UN)

@@ -1,0 +1,383 @@
+"""Content-addressed trace corpus: record once, replay everywhere.
+
+The store is a directory::
+
+    <root>/manifest.json            fingerprints → object metadata
+    <root>/objects/<aa>/<sha256>.trace   CALTRC02 compressed traces
+
+Identity is two-level:
+
+* the **spec fingerprint** — sha256 over the scenario-spec document and
+  the recording geometry — keys the manifest: same workload definition,
+  same fingerprint, across machines and sessions;
+* the **content digest** — sha256 of the trace's *canonical CALTRC01
+  byte stream* (the v1 serialisation of header, records and footer) —
+  names the object file.  Hashing the canonical stream rather than the
+  on-disk bytes makes identity independent of the storage codec: a
+  recompressed or transcoded object keeps its name, and ``verify`` can
+  check a CALTRC02 file against the digest its v1 twin would have.
+
+:meth:`CorpusStore.ensure` is the whole workflow: manifest hit → return
+the object path; miss → record the spec live (through its driver),
+store compressed, bind the fingerprint.  Recording is deterministic, so
+concurrent builders racing on the same spec converge on byte-identical
+objects.  Figure sweeps resolve their workloads through
+:meth:`CorpusStore.slowdown` (see :mod:`repro.analysis.suite`), which
+replays corpus traces instead of re-synthesising per figure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import tempfile
+from dataclasses import dataclass
+
+from repro.memory.hierarchy import WESTMERE, HierarchyConfig
+from repro.traces.format import EV_END, MAGIC, RECORD, TraceReader
+from repro.traces.recorder import _geometry_dict, record_spec
+from repro.traces.registry import CORPUS, TraceScenarioSpec, policy_to_str
+from repro.traces.replayer import replay_timing
+from repro.workloads.generator import RunResult, Scenario
+from repro.workloads.specs import BenchmarkProfile
+
+from repro.corpus.manifest import (
+    MANIFEST_NAME,
+    Manifest,
+    ManifestEntry,
+    load_manifest,
+    manifest_lock,
+    save_manifest,
+)
+
+#: Environment override for the default store root.
+ENV_ROOT = "REPRO_CORPUS_DIR"
+
+#: Default store root (relative to the invoking process's cwd, like the
+#: runner's EXPERIMENTS.md output); CI caches this directory.
+DEFAULT_ROOT = ".repro-corpus"
+
+#: Bump when the fingerprint payload changes shape.
+FINGERPRINT_VERSION = 1
+
+#: ``gc`` reaps unreferenced files only after this age: a younger
+#: ``.recording`` may be a live concurrent builder's temp file, and a
+#: younger unreferenced ``.trace`` may be a just-published object whose
+#: builder has not yet written its manifest entry.
+STALE_RECORDING_SECONDS = 3600
+
+
+def spec_fingerprint(
+    spec: TraceScenarioSpec, config: HierarchyConfig = WESTMERE
+) -> str:
+    """Stable identity of one recordable workload.
+
+    Covers everything that determines the logical record stream: the
+    full spec document (profile, policy, seeds, lengths, driver) and the
+    recording geometry.  Deliberately excludes the storage codec — a
+    format migration does not orphan the corpus.
+    """
+    payload = {
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "spec": spec.to_dict(),
+        "geometry": _geometry_dict(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(canonical).hexdigest()
+
+
+def canonical_digest(source) -> tuple[str, int, dict]:
+    """sha256, length and footer of a trace's canonical CALTRC01 stream.
+
+    Streams the file (any container version) and hashes the exact bytes
+    its v1 serialisation would hold — header ``format`` normalised to
+    ``CALTRC01`` so a transcoded twin hashes identically.  The footer is
+    returned as well (the stream was fully drained to hash it, so
+    callers wanting record counts need no second pass).
+    """
+    digest = hashlib.sha256()
+    length = 0
+
+    def feed(data: bytes) -> None:
+        nonlocal length
+        digest.update(data)
+        length += len(data)
+
+    with TraceReader(source) as reader:
+        header = dict(reader.header)
+        if "format" in header:
+            header["format"] = MAGIC.decode("ascii")
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        feed(MAGIC)
+        feed(struct.pack("<I", len(header_bytes)))
+        feed(header_bytes)
+        pack = RECORD.pack
+        for kind, address, arg in reader.records():
+            feed(pack(kind, address, arg))
+        footer = reader.read_footer()
+        footer_bytes = json.dumps(footer, sort_keys=True).encode("utf-8")
+        feed(pack(EV_END, 0, len(footer_bytes)))
+        feed(footer_bytes)
+    return digest.hexdigest(), length, footer
+
+
+@dataclass(frozen=True)
+class CorpusObject:
+    """Outcome of one :meth:`CorpusStore.ensure` resolution."""
+
+    path: str
+    entry: ManifestEntry
+    built: bool  # False: manifest hit, no recording happened
+
+
+class CorpusStore:
+    """A content-addressed on-disk corpus of recorded traces."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.objects_dir = os.path.join(root, "objects")
+        self.manifest_path = os.path.join(root, MANIFEST_NAME)
+        #: Resolution counters for this store instance (reporting; the
+        #: acceptance invariant "second run records nothing" is
+        #: ``built == 0``).
+        self.hits = 0
+        self.built = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def object_path(self, digest: str) -> str:
+        return os.path.join(self.objects_dir, digest[:2], f"{digest}.trace")
+
+    def manifest(self) -> Manifest:
+        return load_manifest(self.manifest_path)
+
+    # -- the core workflow ---------------------------------------------------
+
+    def ensure(
+        self,
+        spec: TraceScenarioSpec,
+        config: HierarchyConfig = WESTMERE,
+    ) -> CorpusObject:
+        """Resolve a spec to a recorded trace, building on first use."""
+        fingerprint = spec_fingerprint(spec, config)
+        entry = self.manifest().get(fingerprint)
+        if entry is not None:
+            path = self.object_path(entry.digest)
+            if os.path.exists(path):
+                self.hits += 1
+                return CorpusObject(path=path, entry=entry, built=False)
+        return self._build(fingerprint, spec, config)
+
+    def _build(
+        self,
+        fingerprint: str,
+        spec: TraceScenarioSpec,
+        config: HierarchyConfig,
+    ) -> CorpusObject:
+        os.makedirs(self.objects_dir, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(
+            dir=self.objects_dir, suffix=".recording"
+        )
+        os.close(fd)
+        try:
+            record_spec(spec, temp_path, config=config, compress=True)
+            # One decode pass over the fresh recording.  (A hashing tee
+            # inside the writer could fold this into the recording pass;
+            # the cold path runs once per workload ever, so the extra
+            # read is accepted for the recorder's simplicity.)
+            digest, raw_bytes, footer = canonical_digest(temp_path)
+            stored_bytes = os.path.getsize(temp_path)
+            records = footer.get("records", 0)
+            path = self.object_path(digest)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            # Atomic publish; racing builders of a deterministic spec
+            # produce byte-identical objects, so last-write-wins is safe.
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass
+            raise
+        entry = ManifestEntry(
+            fingerprint=fingerprint,
+            scenario=spec.name,
+            driver=spec.driver,
+            instructions=spec.instructions,
+            digest=digest,
+            records=records,
+            raw_bytes=raw_bytes,
+            stored_bytes=stored_bytes,
+        )
+        with manifest_lock(self.root):
+            manifest = self.manifest()  # re-read under the lock: merge
+            manifest.put(entry)
+            save_manifest(manifest, self.manifest_path)
+        self.built += 1
+        return CorpusObject(path=path, entry=entry, built=True)
+
+    # -- replay-side consumers ----------------------------------------------
+
+    def run_result(
+        self,
+        spec: TraceScenarioSpec,
+        config: HierarchyConfig = WESTMERE,
+    ) -> RunResult:
+        """The spec's live statistics, from the corpus (replay-verified)."""
+        return replay_timing(self.ensure(spec, config).path)
+
+    def slowdown(
+        self,
+        profile: BenchmarkProfile,
+        scenario: Scenario,
+        instructions: int,
+        baseline_config: HierarchyConfig = WESTMERE,
+        variant_config: HierarchyConfig | None = None,
+    ) -> float:
+        """Corpus-resolved twin of :func:`repro.workloads.generator.slowdown`.
+
+        Both the unprotected baseline and the scenario variant resolve
+        through the store; replay is bit-identical to the live runs, so
+        the returned figure quantity equals the live computation exactly
+        — while repeated invocations (and other figures sharing the
+        baseline) replay instead of re-synthesising.
+        """
+        base = self.run_result(figure_spec(profile, Scenario.baseline(), instructions))
+        variant = self.run_result(figure_spec(profile, scenario, instructions))
+        base_cycles = base.cycles(baseline_config, profile)
+        variant_cycles = variant.cycles(
+            variant_config or baseline_config, profile
+        )
+        return variant_cycles / base_cycles - 1.0
+
+    # -- maintenance ---------------------------------------------------------
+
+    def build_registry(
+        self,
+        names: list[str] | None = None,
+        instructions: int | None = None,
+        config: HierarchyConfig = WESTMERE,
+    ) -> list[CorpusObject]:
+        """Ensure every (named) registry mix is recorded; returns outcomes."""
+        outcomes = []
+        for name in names or sorted(CORPUS):
+            spec = CORPUS[name]
+            if instructions is not None:
+                spec = spec.scaled(instructions)
+            outcomes.append(self.ensure(spec, config))
+        return outcomes
+
+    def verify(self) -> list[str]:
+        """Re-hash every referenced object; returns problem descriptions."""
+        problems: list[str] = []
+        for fingerprint, entry in sorted(self.manifest().entries.items()):
+            path = self.object_path(entry.digest)
+            if not os.path.exists(path):
+                problems.append(
+                    f"{entry.scenario}: object {entry.digest[:12]}… missing "
+                    f"({path})"
+                )
+                continue
+            try:
+                digest, raw_bytes, _footer = canonical_digest(path)
+            except Exception as error:  # corrupt container
+                problems.append(
+                    f"{entry.scenario}: object {entry.digest[:12]}… "
+                    f"unreadable: {error}"
+                )
+                continue
+            if digest != entry.digest:
+                problems.append(
+                    f"{entry.scenario}: digest mismatch — manifest "
+                    f"{entry.digest[:12]}…, on-disk stream hashes to "
+                    f"{digest[:12]}…"
+                )
+            elif raw_bytes != entry.raw_bytes:
+                problems.append(
+                    f"{entry.scenario}: canonical length {raw_bytes} != "
+                    f"manifest {entry.raw_bytes}"
+                )
+        return problems
+
+    def gc(self) -> list[str]:
+        """Remove unreferenced object files and stale manifest entries."""
+        removed: list[str] = []
+        with manifest_lock(self.root):
+            manifest = self.manifest()
+            stale = [
+                fingerprint
+                for fingerprint, entry in manifest.entries.items()
+                if not os.path.exists(self.object_path(entry.digest))
+            ]
+            for fingerprint in stale:
+                entry = manifest.entries.pop(fingerprint)
+                removed.append(f"entry {entry.scenario} ({fingerprint[:12]}…)")
+            if stale:
+                save_manifest(manifest, self.manifest_path)
+            referenced = manifest.digests()
+        if os.path.isdir(self.objects_dir):
+            import time
+
+            stale_before = time.time() - STALE_RECORDING_SECONDS
+            for dirpath, _dirnames, filenames in os.walk(self.objects_dir):
+                for filename in filenames:
+                    digest, ext = os.path.splitext(filename)
+                    path = os.path.join(dirpath, filename)
+                    if ext == ".trace" and digest in referenced:
+                        continue
+                    # Anything else is either a concurrent builder's
+                    # artifact (an in-progress .recording, or an object
+                    # published moments before its manifest entry lands)
+                    # or a crash leftover; age separates the two.
+                    try:
+                        if os.path.getmtime(path) > stale_before:
+                            continue
+                        os.remove(path)
+                    except OSError:
+                        continue  # renamed/removed mid-walk
+                    removed.append(path)
+        return removed
+
+
+def default_store() -> CorpusStore:
+    """The process-wide default store (``$REPRO_CORPUS_DIR`` or
+    ``./.repro-corpus``)."""
+    return CorpusStore(os.environ.get(ENV_ROOT, DEFAULT_ROOT))
+
+
+def figure_spec(
+    profile: BenchmarkProfile, scenario: Scenario, instructions: int
+) -> TraceScenarioSpec:
+    """The corpus spec of one figure-sweep cell.
+
+    Mirrors :func:`repro.workloads.generator.slowdown`'s live-run
+    parameters exactly (seed 0, full warmup, default quarantine), so the
+    corpus-resolved figure equals the live figure bit-for-bit.
+    """
+    return TraceScenarioSpec(
+        name=f"fig/{profile.name}/{scenario.describe().replace(' ', '_')}"
+        f"/b{scenario.binary_seed}",
+        description="figure-sweep workload (corpus-resolved)",
+        profile=profile,
+        policy=policy_to_str(scenario.policy),
+        with_cform=scenario.with_cform,
+        min_bytes=scenario.min_bytes,
+        max_bytes=scenario.max_bytes,
+        binary_seed=scenario.binary_seed,
+        instructions=instructions,
+    )
+
+
+def registry_fingerprint(config: HierarchyConfig = WESTMERE) -> str:
+    """One combined fingerprint over the whole scenario registry.
+
+    Changes whenever any registry spec (or the recording geometry or
+    fingerprint scheme) changes — the CI cache key for the corpus
+    directory.
+    """
+    combined = hashlib.sha256()
+    for name in sorted(CORPUS):
+        combined.update(spec_fingerprint(CORPUS[name], config).encode())
+    return combined.hexdigest()

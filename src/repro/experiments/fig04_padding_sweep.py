@@ -30,7 +30,11 @@ def run(
     instructions: int = 100_000,
     benchmarks: list[str] | None = None,
     sizes: tuple[int, ...] = PADDING_SIZES,
+    store=None,
 ) -> PaddingSweepResult:
+    """``store`` resolves every cell through the recorded-trace corpus
+    (:class:`repro.corpus.CorpusStore`); the seven padding sizes then
+    share one recorded baseline per benchmark instead of re-running it."""
     benchmarks = benchmarks or FIG10_BENCHMARKS
     per_size = {
         size: sweep(
@@ -38,6 +42,7 @@ def run(
             Scenario(policy=("fixed", size)),
             instructions=instructions,
             label=f"fixed {size}B padding",
+            store=store,
         )
         for size in sizes
     }

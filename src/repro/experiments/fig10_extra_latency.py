@@ -21,13 +21,18 @@ def run(
     instructions: int = 100_000,
     benchmarks: list[str] | None = None,
     extra_cycles: int = 1,
+    store=None,
 ) -> SuiteResult:
+    """``store`` resolves the per-benchmark baselines through the
+    recorded-trace corpus; both latency configurations price the same
+    recorded event stream (one trace per benchmark serves both)."""
     return sweep(
         benchmarks or FIG10_BENCHMARKS,
         Scenario.baseline(),
         instructions=instructions,
         variant_config=WESTMERE.with_extra_latency(extra_cycles),
         label=f"+{extra_cycles} cycle L2/L3 latency",
+        store=store,
     )
 
 

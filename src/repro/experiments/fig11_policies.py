@@ -60,7 +60,11 @@ def run(
     instructions: int = 100_000,
     benchmarks: list[str] | None = None,
     binary_seeds: tuple[int, ...] = (0,),
+    store=None,
 ) -> Fig11Result:
+    """``store`` resolves every cell through the recorded-trace corpus;
+    the seven configurations then share one recorded baseline per
+    (benchmark, seed) instead of re-running it seven times."""
     benchmarks = benchmarks or FIG11_BENCHMARKS
     return Fig11Result(
         configurations={
@@ -70,6 +74,7 @@ def run(
                 instructions=instructions,
                 binary_seeds=binary_seeds,
                 label=label,
+                store=store,
             )
             for label, scenario in _configurations().items()
         }

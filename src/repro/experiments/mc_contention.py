@@ -23,12 +23,11 @@ contended run (AMAT cycles, +1 config vs recorded config).
 
 from __future__ import annotations
 
-import os
 import tempfile
 from dataclasses import dataclass
 
+from repro.corpus.store import CorpusStore
 from repro.memory.hierarchy import WESTMERE
-from repro.traces.recorder import record_spec
 from repro.traces.registry import multicore_mix
 from repro.traces.replayer import replay_multicore
 
@@ -52,29 +51,38 @@ class CoreContention:
         return self.contended_l3_misses - self.solo_l3_misses
 
 
-def run(instructions: int = 8_000, mix: str = MIX) -> list[CoreContention]:
-    """Record the mix once, replay solo / contended / contended+1."""
-    specs = multicore_mix(mix).specs(instructions)
-    with tempfile.TemporaryDirectory(prefix="repro-mc-") as workdir:
-        recorded: dict[str, str] = {}
-        for spec in specs:
-            if spec.name not in recorded:
-                path = os.path.join(workdir, f"{spec.name}.trace")
-                record_spec(spec, path)
-                recorded[spec.name] = path
-        paths = [recorded[spec.name] for spec in specs]
+def run(
+    instructions: int = 8_000,
+    mix: str = MIX,
+    store: CorpusStore | None = None,
+) -> list[CoreContention]:
+    """Resolve the mix through the corpus, replay solo / contended / +1.
 
-        # Duplicated cores replay the same deterministic trace, so one
-        # solo baseline per unique path suffices.
-        solo_by_path = {
-            path: replay_multicore([path]).per_core[0]
-            for path in recorded.values()
-        }
-        solo = [solo_by_path[path] for path in paths]
-        contended = replay_multicore(paths)
-        pessimistic = replay_multicore(
-            paths, config=WESTMERE.with_extra_latency(1)
-        )
+    Without a ``store`` an ephemeral one is used (standalone
+    invocation); the runner passes its persistent default store, so the
+    per-core traces are recorded once ever, not once per invocation.
+    """
+    if store is None:
+        with tempfile.TemporaryDirectory(prefix="repro-mc-") as workdir:
+            return run(instructions, mix, CorpusStore(workdir))
+    specs = multicore_mix(mix).specs(instructions)
+    recorded: dict[str, str] = {}
+    for spec in specs:
+        if spec.name not in recorded:
+            recorded[spec.name] = store.ensure(spec).path
+    paths = [recorded[spec.name] for spec in specs]
+
+    # Duplicated cores replay the same deterministic trace, so one
+    # solo baseline per unique path suffices.
+    solo_by_path = {
+        path: replay_multicore([path]).per_core[0]
+        for path in recorded.values()
+    }
+    solo = [solo_by_path[path] for path in paths]
+    contended = replay_multicore(paths)
+    pessimistic = replay_multicore(
+        paths, config=WESTMERE.with_extra_latency(1)
+    )
 
     rows: list[CoreContention] = []
     for core, spec in enumerate(specs):

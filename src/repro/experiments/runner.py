@@ -4,12 +4,20 @@ Usage::
 
     python -m repro.experiments.runner [--full] [--jobs N]
                                        [--output EXPERIMENTS.md]
+                                       [--corpus DIR | --no-corpus]
 
 ``--full`` uses longer traces and three layout seeds (minutes); the
 default quick mode finishes in well under a minute.  ``--jobs N`` runs
 the experiment sections in ``N`` worker processes — the sections are
 independent simulations, so ``--full --jobs 4`` recovers most of the
 full mode's wall-clock cost.
+
+Trace-consuming sections (Figures 4/10/11, the trace cross-checks and
+the multi-core study) resolve their workloads through the
+content-addressed corpus store by default (``--corpus DIR``; default
+``$REPRO_CORPUS_DIR`` or ``./.repro-corpus``): the first invocation
+records, every later invocation replays pure corpus hits — zero trace
+re-recording.  ``--no-corpus`` restores fully live synthesis.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ import argparse
 import time
 from concurrent.futures import ProcessPoolExecutor
 
+from repro.corpus.store import CorpusStore, default_store
 from repro.experiments import (
     fig03_struct_density,
     fig04_padding_sweep,
@@ -31,69 +40,73 @@ from repro.experiments import (
 )
 
 
-def _section_fig03(instructions: int, seeds: tuple[int, ...]) -> str:
+def _section_fig03(instructions, seeds, store) -> str:
     return fig03_struct_density.render(fig03_struct_density.run())
 
 
-def _section_fig04(instructions: int, seeds: tuple[int, ...]) -> str:
+def _section_fig04(instructions, seeds, store) -> str:
     return fig04_padding_sweep.render(
-        fig04_padding_sweep.run(instructions=instructions)
+        fig04_padding_sweep.run(instructions=instructions, store=store)
     )
 
 
-def _section_table1(instructions: int, seeds: tuple[int, ...]) -> str:
+def _section_table1(instructions, seeds, store) -> str:
     return tables.render_table1()
 
 
-def _section_table2(instructions: int, seeds: tuple[int, ...]) -> str:
+def _section_table2(instructions, seeds, store) -> str:
     return tables.render_table2()
 
 
-def _section_table3(instructions: int, seeds: tuple[int, ...]) -> str:
+def _section_table3(instructions, seeds, store) -> str:
     return tables.render_table3()
 
 
-def _section_fig10(instructions: int, seeds: tuple[int, ...]) -> str:
+def _section_fig10(instructions, seeds, store) -> str:
     return fig10_extra_latency.render(
-        fig10_extra_latency.run(instructions=instructions)
+        fig10_extra_latency.run(instructions=instructions, store=store)
     )
 
 
-def _section_fig11(instructions: int, seeds: tuple[int, ...]) -> str:
+def _section_fig11(instructions, seeds, store) -> str:
     return fig11_policies.render(
-        fig11_policies.run(instructions=instructions, binary_seeds=seeds)
+        fig11_policies.run(
+            instructions=instructions, binary_seeds=seeds, store=store
+        )
     )
 
 
-def _section_fig12(instructions: int, seeds: tuple[int, ...]) -> str:
+def _section_fig12(instructions, seeds, store) -> str:
     return fig12_intelligent.render(
         fig12_intelligent.run(instructions=instructions, binary_seeds=seeds)
     )
 
 
-def _section_tables456(instructions: int, seeds: tuple[int, ...]) -> str:
+def _section_tables456(instructions, seeds, store) -> str:
     return tables.render_tables456()
 
 
-def _section_sec7(instructions: int, seeds: tuple[int, ...]) -> str:
+def _section_sec7(instructions, seeds, store) -> str:
     return sec7_derandomization.render(sec7_derandomization.run())
 
 
-def _section_table7(instructions: int, seeds: tuple[int, ...]) -> str:
+def _section_table7(instructions, seeds, store) -> str:
     return tables.render_table7()
 
 
-def _section_traces(instructions: int, seeds: tuple[int, ...]) -> str:
+def _section_traces(instructions, seeds, store) -> str:
     # A fraction of the figure trace length keeps the recorded files and
     # this section's runtime small; the invariant is length-independent.
-    return trace_checks.render(trace_checks.run(instructions=instructions // 4))
+    return trace_checks.render(
+        trace_checks.run(instructions=instructions // 4, store=store)
+    )
 
 
-def _section_multicore(instructions: int, seeds: tuple[int, ...]) -> str:
+def _section_multicore(instructions, seeds, store) -> str:
     # Four per-core traces: a tenth of the figure length each keeps the
     # recorded corpus and replay cost proportionate to the other sections.
     return mc_contention.render(
-        mc_contention.run(instructions=instructions // 10)
+        mc_contention.run(instructions=instructions // 10, store=store)
     )
 
 
@@ -116,22 +129,32 @@ _SECTIONS: tuple[tuple[str, object], ...] = (
 )
 
 
-def _run_section(task: tuple[int, int, tuple[int, ...]]) -> str:
+def _run_section(task: tuple[int, int, tuple[int, ...], str | None]) -> str:
     """Process-pool entry point: run one section by index."""
-    index, instructions, seeds = task
+    index, instructions, seeds, corpus_root = task
     _, worker = _SECTIONS[index]
-    return worker(instructions, seeds)
+    store = CorpusStore(corpus_root) if corpus_root is not None else None
+    return worker(instructions, seeds, store)
 
 
-def run_all(full: bool = False, jobs: int = 1) -> dict[str, str]:
+def run_all(
+    full: bool = False, jobs: int = 1, corpus_root: str | None = None
+) -> dict[str, str]:
     """Run each experiment; returns {section title: rendered body}.
 
     ``jobs > 1`` fans the independent sections out over worker processes
-    while preserving report order.
+    while preserving report order.  ``corpus_root`` points the
+    trace-consuming sections at a persistent corpus store (they record
+    on first use and replay thereafter; the store's manifest updates are
+    lock-serialised, so parallel sections building overlapping corpora
+    are safe); ``None`` keeps them fully live/ephemeral.
     """
     instructions = 200_000 if full else 80_000
     seeds = (0, 1, 2) if full else (0,)
-    tasks = [(index, instructions, seeds) for index in range(len(_SECTIONS))]
+    tasks = [
+        (index, instructions, seeds, corpus_root)
+        for index in range(len(_SECTIONS))
+    ]
     if jobs > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             bodies = list(pool.map(_run_section, tasks))
@@ -188,10 +211,27 @@ def main() -> None:
         help="worker processes for the experiment sections (default: 1)",
     )
     parser.add_argument("--output", default="EXPERIMENTS.md")
+    parser.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="corpus store root for the trace-consuming sections "
+        "(default: $REPRO_CORPUS_DIR or ./.repro-corpus)",
+    )
+    parser.add_argument(
+        "--no-corpus", action="store_true",
+        help="synthesise every workload live instead of using the corpus",
+    )
     arguments = parser.parse_args()
+    if arguments.no_corpus:
+        corpus_root = None
+    else:
+        corpus_root = arguments.corpus or default_store().root
     started = time.time()
-    sections = run_all(full=arguments.full, jobs=arguments.jobs)
+    sections = run_all(
+        full=arguments.full, jobs=arguments.jobs, corpus_root=corpus_root
+    )
     write_markdown(sections, arguments.output)
+    if corpus_root is not None:
+        print(f"corpus: {corpus_root}")
     print(f"wrote {arguments.output} in {time.time() - started:.0f}s")
 
 

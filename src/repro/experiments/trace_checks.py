@@ -1,104 +1,138 @@
-"""Trace-engine cross-check: experiment figures driven from recorded traces.
+"""Trace-engine cross-check: experiment figures driven from the corpus.
 
-Demonstrates (and continuously verifies) that the trace engine makes
-workloads first-class artifacts: for a slice of the scenario corpus the
-section records the live run to a trace file, replays the file through a
-fresh cache ladder, and compares — the replayed statistics must be
-bit-identical.  It then computes a Figure-11-style slowdown *from the
-recorded traces alone*: a baseline trace and a protected trace of the
-same mix are replayed and their cycle ratio taken through the same
-pipeline model the live figures use, showing that any timing figure can
-run from persisted traces instead of re-synthesising its workload.
+Demonstrates (and continuously verifies) that recorded workloads are
+first-class, *shared* artifacts: for a slice of the scenario registry
+the section resolves protected and baseline traces through the
+content-addressed corpus store (:mod:`repro.corpus`) — recording on the
+first runner invocation, replaying pure corpus hits thereafter — then
+checks that the replayed statistics are bit-identical to the recorded
+run's and computes a Figure-11-style slowdown entirely from the
+persisted artifacts.  The rendered table reports, per scenario, whether
+this invocation hit the corpus or had to record, and what the CALTRC02
+compression bought.
 """
 
 from __future__ import annotations
 
-import os
 import tempfile
 from dataclasses import dataclass, replace
 
+from repro.corpus.store import CorpusStore
+from repro.cpu.pipeline import MemoryEventCounts
 from repro.memory.hierarchy import WESTMERE
-from repro.traces.recorder import record_spec
 from repro.traces.registry import CORPUS, TraceScenarioSpec
 from repro.traces.replayer import replay_timing
+from repro.workloads.generator import RunResult
 
-#: Corpus slice exercised by the report section (kept small: the section
-#: runs inside the quick-mode experiment runner).
+#: Registry slice exercised by the report section (kept small: the
+#: section runs inside the quick-mode experiment runner).
 CHECK_SCENARIOS = ("server-churn", "allocator-stress", "pointer-chase")
 
 
 @dataclass(frozen=True)
 class TraceCheck:
-    """Outcome of one record→replay→compare round."""
+    """Outcome of one corpus-resolve→replay→compare round."""
 
     name: str
     records: int
-    trace_bytes: int
-    live_cycles: float
+    stored_bytes: int
+    compression_ratio: float
+    source: str  # "corpus hit" or "recorded"
+    recorded_cycles: float  # from the footer's persisted statistics
     replayed_cycles: float
     trace_slowdown: float  # protected-vs-baseline, computed from traces
 
     @property
     def bit_identical(self) -> bool:
-        return self.live_cycles == self.replayed_cycles
+        return self.recorded_cycles == self.replayed_cycles
 
 
 def _cycles(spec: TraceScenarioSpec, result) -> float:
     return result.cycles(WESTMERE, spec.profile)
 
 
-def run(instructions: int = 20_000) -> list[TraceCheck]:
-    """Record, replay and cross-check a slice of the scenario corpus."""
+def _replay(store: CorpusStore, spec: TraceScenarioSpec):
+    """Resolve a spec through the store; returns (result, footer, object)."""
+    resolved = store.ensure(spec)
+    result, footer = replay_timing(resolved.path, with_footer=True)
+    return result, footer, resolved
+
+
+def _footer_result(spec: TraceScenarioSpec, footer: dict) -> RunResult:
+    """The recorded run's statistics, reconstructed from the footer alone
+    (independent of the replay — the comparison's other arm)."""
+    return RunResult(
+        benchmark=footer["benchmark"],
+        scenario=spec.build_scenario(),
+        instructions=footer["instructions"],
+        events=MemoryEventCounts(**footer["events"]),
+        cform_instructions=footer["cform_instructions"],
+        alloc_events=footer["alloc_events"],
+    )
+
+
+def run(instructions: int = 20_000, store: CorpusStore | None = None) -> list[TraceCheck]:
+    """Resolve, replay and cross-check a slice of the scenario registry.
+
+    Without a ``store`` an ephemeral one is used (standalone invocation);
+    the runner passes its persistent default store, so a second runner
+    invocation performs zero re-recording.
+    """
+    if store is None:
+        with tempfile.TemporaryDirectory(prefix="repro-corpus-") as workdir:
+            return run(instructions, CorpusStore(workdir))
     checks: list[TraceCheck] = []
-    with tempfile.TemporaryDirectory(prefix="repro-traces-") as workdir:
-        for name in CHECK_SCENARIOS:
-            spec = CORPUS[name].scaled(instructions)
-            path = os.path.join(workdir, f"{name}.trace")
-            live = record_spec(spec, path)
-            # One replay pass both verifies against the footer and hands
-            # it back (record counts) — no extra scan of the file.
-            replayed, footer = replay_timing(path, with_footer=True)
-            # A second trace of the same mix, unprotected: the slowdown
-            # figure is then computed purely from persisted artifacts.
-            baseline_spec = replace(
-                spec, name=f"{name}-baseline", policy=None, with_cform=False
+    for name in CHECK_SCENARIOS:
+        spec = CORPUS[name].scaled(instructions)
+        replayed, footer, resolved = _replay(store, spec)
+        # The slowdown figure's other trace: the same mix, unprotected —
+        # the figure is then computed purely from persisted artifacts.
+        baseline_spec = replace(
+            spec, name=f"{name}-baseline", policy=None, with_cform=False
+        )
+        baseline_replayed, _, _ = _replay(store, baseline_spec)
+        protected_cycles = _cycles(spec, replayed)
+        baseline_cycles = _cycles(baseline_spec, baseline_replayed)
+        checks.append(
+            TraceCheck(
+                name=name,
+                records=resolved.entry.records,
+                stored_bytes=resolved.entry.stored_bytes,
+                compression_ratio=resolved.entry.compression_ratio,
+                source="recorded" if resolved.built else "corpus hit",
+                recorded_cycles=_cycles(spec, _footer_result(spec, footer)),
+                replayed_cycles=protected_cycles,
+                trace_slowdown=protected_cycles / baseline_cycles - 1.0,
             )
-            baseline_path = os.path.join(workdir, f"{name}-baseline.trace")
-            record_spec(baseline_spec, baseline_path)
-            baseline_replayed = replay_timing(baseline_path)
-            protected_cycles = _cycles(spec, replayed)
-            baseline_cycles = _cycles(baseline_spec, baseline_replayed)
-            checks.append(
-                TraceCheck(
-                    name=name,
-                    records=footer["records"],
-                    trace_bytes=os.path.getsize(path),
-                    live_cycles=_cycles(spec, live),
-                    replayed_cycles=protected_cycles,
-                    trace_slowdown=protected_cycles / baseline_cycles - 1.0,
-                )
-            )
+        )
     return checks
 
 
 def render(checks: list[TraceCheck]) -> str:
     lines = [
-        "scenario             records   bytes  replay==live  trace-driven slowdown",
-        "-------------------- ------- ------- ------------- ----------------------",
+        "scenario             records  stored B  ratio  replay==recorded"
+        "  slowdown  source",
+        "-------------------- ------- --------- ------ -----------------"
+        " --------- ----------",
     ]
     for check in checks:
         lines.append(
-            f"{check.name:20s} {check.records:7d} {check.trace_bytes:7d} "
-            f"{'yes' if check.bit_identical else 'NO':>13s} "
-            f"{check.trace_slowdown * 100.0:21.2f}%"
+            f"{check.name:20s} {check.records:7d} {check.stored_bytes:9d} "
+            f"{check.compression_ratio:5.1f}x "
+            f"{'yes' if check.bit_identical else 'NO':>17s} "
+            f"{check.trace_slowdown * 100.0:8.2f}%  {check.source}"
         )
     lines.append("")
     lines.append(
-        "replay==live: cycle statistics of the trace replay are "
-        "bit-identical to the live run (round-trip invariant);"
+        "replay==recorded: replaying the corpus object reproduces the "
+        "recorded run's cycle statistics bit-identically;"
     )
     lines.append(
         "the slowdown column is a Figure-11-style protected-vs-baseline "
-        "ratio computed entirely from recorded traces."
+        "ratio computed entirely from corpus traces;"
+    )
+    lines.append(
+        "source shows whether this invocation reused the corpus "
+        "('corpus hit') or had to record ('recorded')."
     )
     return "\n".join(lines)

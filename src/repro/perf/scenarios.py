@@ -22,6 +22,11 @@ Scenario families:
     The trace engine (``repro.traces``): recording a registry scenario
     to an in-memory trace, the streaming bit-identical replay of it, and
     the 2-core shared-L3 interleaved replay of an antagonist pair.
+``trace_compress`` / ``trace_decompress_replay``
+    The CALTRC02 codec hot paths: transcoding a recorded v1 trace into
+    compressed frames (delta/run-length tokenisation + zlib), and the
+    streaming replay that inflates and de-tokenises frame by frame —
+    the corpus store's write and read sides.
 ``experiment_e2e``
     A small end-to-end slice of the Figure 10 experiment pipeline.
 ``codec_reference``
@@ -263,6 +268,46 @@ def _trace_multicore_replay(quick: bool) -> Workload:
     return replay_once, records
 
 
+def _trace_compress(quick: bool) -> Workload:
+    from io import BytesIO
+
+    from repro.traces.compress import transcode
+    from repro.traces.format import TraceReader
+    from repro.traces.recorder import record_spec
+    from repro.traces.registry import corpus_spec
+
+    spec = corpus_spec("server-churn").scaled(2_000 if quick else 10_000)
+    buffer = BytesIO()
+    record_spec(spec, buffer)
+    raw = buffer.getvalue()
+    records = TraceReader(BytesIO(raw)).read_footer()["records"]
+
+    def compress_once() -> None:
+        transcode(BytesIO(raw), BytesIO(), version=2)
+
+    return compress_once, records
+
+
+def _trace_decompress_replay(quick: bool) -> Workload:
+    from io import BytesIO
+
+    from repro.traces.format import TraceReader
+    from repro.traces.recorder import record_spec
+    from repro.traces.registry import corpus_spec
+    from repro.traces.replayer import replay_timing
+
+    spec = corpus_spec("server-churn").scaled(2_000 if quick else 10_000)
+    buffer = BytesIO()
+    record_spec(spec, buffer, compress=True)
+    raw = buffer.getvalue()
+    records = TraceReader(BytesIO(raw)).read_footer()["records"]
+
+    def replay_once() -> None:
+        replay_timing(BytesIO(raw))
+
+    return replay_once, records
+
+
 def _experiment_e2e(quick: bool) -> Workload:
     from repro.experiments import fig10_extra_latency
 
@@ -336,6 +381,20 @@ SCENARIOS: dict[str, Scenario] = {
             "trace_multicore_replay",
             "2-core shared-L3 replay of a server-churn + pointer-chase pair",
             _trace_multicore_replay,
+            default_iterations=10,
+            default_warmup=1,
+        ),
+        Scenario(
+            "trace_compress",
+            "CALTRC02 encode: delta/run-length tokenise + deflate a v1 trace",
+            _trace_compress,
+            default_iterations=10,
+            default_warmup=1,
+        ),
+        Scenario(
+            "trace_decompress_replay",
+            "CALTRC02 decode: streaming frame-inflating bit-identical replay",
+            _trace_decompress_replay,
             default_iterations=10,
             default_warmup=1,
         ),

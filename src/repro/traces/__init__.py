@@ -1,24 +1,31 @@
-"""Trace engine: record, persist, shard and replay memory traces.
+"""Trace engine: record, persist, compress, shard and replay traces.
 
-Workloads become first-class artifacts: the recorder taps the live
-workload generator and streams its event stream to a compact versioned
-binary format; the replayer reproduces the live run's cycle/exception
-statistics bit-identically from the file; the scenario registry names
-~6 declarative realistic mixes (plus named multi-core mixes); sharded
-replay splits a trace at epoch boundaries and fans the shards across
-worker processes with merged accounting; multi-core replay interleaves
-one trace stream per core through private L1/L2 ladders into a shared
-L3 with per-core attribution.  ``python -m repro.traces`` is the CLI
-(record/replay/info/shard/replay-shards/replay-mc/list).
+Workloads become first-class artifacts: the recorder taps a live driver
+(the workload generator, or the attack-suite campaign driver) and
+streams its event stream to a compact versioned binary format —
+fixed-record ``CALTRC01`` or frame-compressed ``CALTRC02`` (readers
+auto-detect; replay statistics are identical).  The replayer reproduces
+the live run's cycle/exception statistics bit-identically from the
+file; the scenario registry names 8 declarative realistic mixes (plus
+named multi-core mixes); sharded replay splits a trace at epoch
+boundaries and fans the shards across worker processes with merged
+accounting; multi-core replay interleaves one trace stream per core
+through private L1/L2 ladders into a shared L3 with per-core
+attribution.  ``python -m repro.traces`` is the CLI
+(record/replay/info/shard/replay-shards/replay-mc/list); the
+content-addressed corpus store in :mod:`repro.corpus` builds on all of
+this.
 """
 
+from repro.traces.compress import CompressedTraceWriter, transcode
 from repro.traces.format import (
     TraceFormatError,
     TraceIntegrityError,
     TraceReader,
     TraceWriter,
+    trace_writer,
 )
-from repro.traces.recorder import RecordingSink, record_spec
+from repro.traces.recorder import RecordingSink, live_run, record_spec
 from repro.traces.registry import (
     CORPUS,
     MULTICORE_MIXES,
@@ -43,6 +50,7 @@ from repro.traces.replayer import (
 __all__ = [
     "CORPUS",
     "MULTICORE_MIXES",
+    "CompressedTraceWriter",
     "MergedReplay",
     "MulticoreMixSpec",
     "MulticoreReplay",
@@ -55,6 +63,7 @@ __all__ = [
     "TraceWriter",
     "corpus_spec",
     "expand_core_names",
+    "live_run",
     "load_spec",
     "multicore_mix",
     "record_spec",
@@ -63,4 +72,6 @@ __all__ = [
     "replay_shards",
     "replay_timing",
     "shard_trace",
+    "trace_writer",
+    "transcode",
 ]

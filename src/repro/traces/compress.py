@@ -1,0 +1,393 @@
+"""CALTRC02: the epoch-framed compressed trace format.
+
+``CALTRC01`` (:mod:`repro.traces.format`) persists one fixed 13-byte
+struct per record — simple, seekable, but cold traces are highly
+redundant: addresses walk in small strides, ``arg`` is almost always the
+access width, and scans/pre-warm loops emit thousands of constant-stride
+touches.  ``CALTRC02`` keeps the container shape (magic, JSON header,
+record stream, JSON footer) but stores the record stream as a sequence of
+independently decodable *frames*:
+
+* one frame per recorded **epoch** (the sink's shard split points), so
+  frame boundaries coincide with the only legal shard boundaries and
+  sharded/multi-core replay stream frame-by-frame exactly as before;
+* inside a frame, records are byte-tokenised: **delta-encoded addresses**
+  (zigzag varints against the previous record's address), **varint args**
+  and **run tokens** that collapse a monotone constant-stride burst
+  (scans, the pre-warm sweep, CFORM line walks) into one token;
+* the token stream is then **zlib-deflated**, frame by frame.
+
+Frame wire format (after the v1-shaped ``magic + u32 header-length +
+header JSON`` preamble, all integers little-endian)::
+
+    0x01  u32 record_count  u32 payload_length  <deflate(tokens)>   * N
+    0xFF  u32 footer_length  <footer JSON>
+
+Tokens (``kind`` is the ``EV_*`` record kind, 0..6)::
+
+    kind                 zigzag-varint Δaddress  varint arg
+    kind | 0x08 (run)    varint count  zigzag-varint Δstart
+                         zigzag-varint stride    varint arg
+
+A run token expands to ``count`` records of the same kind and arg whose
+addresses step by ``stride``; the delta base resets to 0 at every frame
+boundary so frames decode independently.  Encode and decode are both
+fully streaming: the writer buffers at most one frame of records, the
+reader inflates one frame at a time — compression never changes what the
+replayers see, only how many bytes hold it.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import BinaryIO, Iterator
+
+from repro.traces.format import (
+    EV_EPOCH,
+    MAGIC,
+    RECORD_SIZE,
+    TraceFormatError,
+    TraceReader,
+    TraceWriterBase,
+)
+
+#: The compressed container's magic (same family, next version digit).
+MAGIC_V2 = b"CALTRC02"
+
+#: Frame type bytes.
+FRAME_RECORDS = 0x01
+FRAME_END = 0xFF
+
+#: zlib level: 6 is the sweet spot for these token streams (9 buys a few
+#: percent for a multiple of the encode time).
+COMPRESSION_LEVEL = 6
+
+#: Frames are cut at EPOCH records; epoch-less traces (foreign writers,
+#: tests) still flush after this many records so memory stays bounded.
+MAX_FRAME_RECORDS = 1 << 16
+
+#: A constant-stride same-kind/same-arg run must be at least this long
+#: before the encoder emits a run token (shorter runs compress fine as
+#: plain delta tokens).
+MIN_RUN = 4
+
+#: Run flag on the token's kind byte.  EV_* kinds occupy 3 bits.
+_RUN_FLAG = 0x08
+
+_FRAME_RECORDS_HEAD = struct.Struct("<BII")
+_FRAME_END_HEAD = struct.Struct("<BI")
+
+
+# -- varint primitives --------------------------------------------------------
+
+
+def _append_varint(out: bytearray, value: int) -> None:
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _append_signed(out: bytearray, value: int) -> None:
+    _append_varint(out, (value << 1) if value >= 0 else ((-value << 1) - 1))
+
+
+def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    try:
+        while True:
+            byte = data[offset]
+            offset += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value, offset
+            shift += 7
+    except IndexError:
+        raise TraceFormatError("corrupt frame: truncated varint") from None
+
+
+def _read_signed(data: bytes, offset: int) -> tuple[int, int]:
+    zigzag, offset = _read_varint(data, offset)
+    return ((zigzag >> 1) if not zigzag & 1 else -((zigzag + 1) >> 1)), offset
+
+
+# -- frame codec --------------------------------------------------------------
+
+
+def encode_frame(records: list[tuple[int, int, int]]) -> bytes:
+    """Tokenise + deflate one frame's records (delta base starts at 0)."""
+    tokens = bytearray()
+    previous = 0
+    count = len(records)
+    index = 0
+    while index < count:
+        kind, address, arg = records[index]
+        # Probe for a constant-stride run of the same kind and arg.
+        run = index + 1
+        if run < count and records[run][0] == kind and records[run][2] == arg:
+            stride = records[run][1] - address
+            expected = records[run][1]
+            while run < count:
+                candidate = records[run]
+                if (
+                    candidate[0] != kind
+                    or candidate[2] != arg
+                    or candidate[1] != expected
+                ):
+                    break
+                expected += stride
+                run += 1
+        length = run - index
+        if length >= MIN_RUN:
+            tokens.append(kind | _RUN_FLAG)
+            _append_varint(tokens, length)
+            _append_signed(tokens, address - previous)
+            _append_signed(tokens, records[run - 1][1] - records[run - 2][1])
+            _append_varint(tokens, arg)
+            previous = records[run - 1][1]
+            index = run
+        else:
+            tokens.append(kind)
+            _append_signed(tokens, address - previous)
+            _append_varint(tokens, arg)
+            previous = address
+            index += 1
+    return zlib.compress(bytes(tokens), COMPRESSION_LEVEL)
+
+
+def decode_frame(
+    payload: bytes, record_count: int
+) -> Iterator[tuple[int, int, int]]:
+    """Inflate + de-tokenise one frame; yields exactly ``record_count``."""
+    try:
+        tokens = zlib.decompress(payload)
+    except zlib.error as error:
+        raise TraceFormatError(f"corrupt frame: {error}") from None
+    offset = 0
+    end = len(tokens)
+    previous = 0
+    produced = 0
+    while offset < end:
+        token = tokens[offset]
+        offset += 1
+        kind = token & ~_RUN_FLAG
+        if kind > EV_EPOCH:
+            # Fail before yielding anything downstream: a corrupt kind
+            # byte must not be masked into a plausible record.
+            raise TraceFormatError(
+                f"corrupt frame: invalid record kind byte 0x{token:02X}"
+            )
+        if token & _RUN_FLAG:
+            length, offset = _read_varint(tokens, offset)
+            delta, offset = _read_signed(tokens, offset)
+            stride, offset = _read_signed(tokens, offset)
+            arg, offset = _read_varint(tokens, offset)
+            produced += length
+            if produced > record_count:
+                raise TraceFormatError(
+                    f"corrupt frame: decodes past the {record_count} "
+                    "records its header promised"
+                )
+            address = previous + delta
+            for _ in range(length):
+                yield kind, address, arg
+                address += stride
+            previous = address - stride
+        else:
+            delta, offset = _read_signed(tokens, offset)
+            arg, offset = _read_varint(tokens, offset)
+            produced += 1
+            if produced > record_count:
+                raise TraceFormatError(
+                    f"corrupt frame: decodes past the {record_count} "
+                    "records its header promised"
+                )
+            previous += delta
+            yield kind, previous, arg
+    if produced != record_count:
+        raise TraceFormatError(
+            f"corrupt frame: decoded {produced} records, "
+            f"frame header promised {record_count}"
+        )
+
+
+# -- streaming writer ---------------------------------------------------------
+
+
+class CompressedTraceWriter(TraceWriterBase):
+    """Streaming CALTRC02 writer; drop-in for :class:`TraceWriter`.
+
+    Identical interface (``append`` / ``set_footer`` / ``close`` /
+    ``abort`` / context manager / ``record_count``): the recorder, the
+    sharder and :func:`transcode` pick their writer by format version and
+    never look inside.  The target/preamble/abort plumbing is the shared
+    :class:`~repro.traces.format.TraceWriterBase`; this class only owns
+    the frame buffer.
+    """
+
+    MAGIC_BYTES = MAGIC_V2
+
+    def __init__(self, target: str | BinaryIO, header: dict):
+        super().__init__(target, header)
+        self.frame_count = 0
+        self._buffer: list[tuple[int, int, int]] = []
+
+    def append(self, kind: int, address: int, arg: int) -> None:
+        """Append one record; flushes a frame at epoch boundaries."""
+        self._buffer.append((kind, address, arg))
+        self.record_count += 1
+        if kind == EV_EPOCH or len(self._buffer) >= MAX_FRAME_RECORDS:
+            self._flush_frame()
+
+    def _flush_frame(self) -> None:
+        if not self._buffer:
+            return
+        payload = encode_frame(self._buffer)
+        self._file.write(
+            _FRAME_RECORDS_HEAD.pack(
+                FRAME_RECORDS, len(self._buffer), len(payload)
+            )
+        )
+        self._file.write(payload)
+        self.frame_count += 1
+        self._buffer.clear()
+
+    def _discard_buffer(self) -> None:
+        self._buffer.clear()
+
+    def close(self) -> None:
+        self._flush_frame()
+        footer_bytes = self._footer_bytes()
+        self._file.write(_FRAME_END_HEAD.pack(FRAME_END, len(footer_bytes)))
+        self._file.write(footer_bytes)
+        self._finish()
+
+
+# -- streaming reader side (driven by TraceReader) ----------------------------
+
+
+def _read_exact(file: BinaryIO, size: int, what: str) -> bytes:
+    data = file.read(size)
+    if len(data) != size:
+        raise TraceFormatError(f"truncated compressed trace: {what}")
+    return data
+
+
+def iter_compressed_records(reader: TraceReader) -> Iterator[tuple[int, int, int]]:
+    """Record iterator for a :class:`TraceReader` positioned after the
+    header of a CALTRC02 file.  Populates ``reader.footer`` when the end
+    frame is reached, mirroring the v1 iterator's contract."""
+    import json
+
+    file = reader._file
+    while True:
+        type_byte = file.read(1)
+        if not type_byte:
+            raise TraceFormatError(
+                "compressed trace ends without a terminator frame"
+            )
+        frame_type = type_byte[0]
+        if frame_type == FRAME_RECORDS:
+            head = _read_exact(file, _FRAME_RECORDS_HEAD.size - 1, "frame header")
+            record_count, payload_length = struct.unpack("<II", head)
+            payload = _read_exact(file, payload_length, "frame payload")
+            yield from decode_frame(payload, record_count)
+        elif frame_type == FRAME_END:
+            head = _read_exact(file, _FRAME_END_HEAD.size - 1, "footer length")
+            (footer_length,) = struct.unpack("<I", head)
+            footer_bytes = _read_exact(file, footer_length, "footer")
+            try:
+                reader.footer = json.loads(footer_bytes)
+            except ValueError as error:
+                raise TraceFormatError(
+                    f"corrupt trace footer JSON: {error}"
+                ) from None
+            return
+        else:
+            raise TraceFormatError(
+                f"corrupt compressed trace: unknown frame type 0x{frame_type:02X}"
+            )
+
+
+# -- frame statistics (no decompression) --------------------------------------
+
+
+def frame_stats(path: str) -> list[tuple[int, int]]:
+    """Per-frame ``(records, compressed_payload_bytes)`` of a CALTRC02
+    file, by scanning frame headers and seeking past payloads — no
+    decompression, so ``trace info`` stays cheap on big traces."""
+    with TraceReader(path) as reader:
+        if reader.version != 2:
+            raise TraceFormatError(
+                f"{path} is not a compressed (CALTRC02) trace"
+            )
+        file = reader._file
+        frames: list[tuple[int, int]] = []
+        while True:
+            type_byte = file.read(1)
+            if not type_byte:
+                raise TraceFormatError(
+                    "compressed trace ends without a terminator frame"
+                )
+            frame_type = type_byte[0]
+            if frame_type == FRAME_RECORDS:
+                head = _read_exact(
+                    file, _FRAME_RECORDS_HEAD.size - 1, "frame header"
+                )
+                record_count, payload_length = struct.unpack("<II", head)
+                file.seek(payload_length, 1)
+                frames.append((record_count, payload_length))
+            elif frame_type == FRAME_END:
+                return frames
+            else:
+                raise TraceFormatError(
+                    "corrupt compressed trace: unknown frame type "
+                    f"0x{frame_type:02X}"
+                )
+
+
+def compression_summary(path: str, records: int) -> dict:
+    """Ratio + frame aggregates for ``trace info`` (CALTRC02 only)."""
+    frames = frame_stats(path)
+    payload_bytes = sum(size for _, size in frames)
+    raw_bytes = records * RECORD_SIZE
+    per_frame = [count for count, _ in frames]
+    return {
+        "frames": len(frames),
+        "payload_bytes": payload_bytes,
+        "raw_record_bytes": raw_bytes,
+        "ratio": (raw_bytes / payload_bytes) if payload_bytes else float("inf"),
+        "records_per_frame_min": min(per_frame) if per_frame else 0,
+        "records_per_frame_max": max(per_frame) if per_frame else 0,
+        "records_per_frame_avg": (records / len(frames)) if frames else 0.0,
+        "frame_detail": frames,
+    }
+
+
+# -- transcoding --------------------------------------------------------------
+
+
+def transcode(source, target, version: int) -> int:
+    """Stream any-version ``source`` into ``target`` at ``version``.
+
+    Preserves the header (with ``format`` updated), every record, and the
+    footer byte-for-byte in JSON terms, so the canonical identity — and
+    every replay statistic — is unchanged.  Returns the record count.
+    """
+    from repro.traces.format import trace_writer
+
+    magic = {1: MAGIC, 2: MAGIC_V2}.get(version)
+    if magic is None:
+        raise ValueError(f"unknown trace format version {version}")
+    with TraceReader(source) as reader:
+        header = dict(reader.header)
+        if "format" in header:
+            header["format"] = magic.decode("ascii")
+        with trace_writer(target, header, version=version) as writer:
+            append = writer.append
+            for kind, address, arg in reader.records():
+                append(kind, address, arg)
+            writer.set_footer(reader.read_footer())
+    return writer.record_count

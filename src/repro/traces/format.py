@@ -26,6 +26,18 @@ Both :class:`TraceWriter` and :class:`TraceReader` stream: the writer
 buffers a bounded number of packed records before flushing, the reader
 iterates the file in fixed-size chunks — neither ever holds a full trace
 in memory, so traces are bounded by disk, not by RAM.
+
+Two container versions share this module's reader:
+
+* ``CALTRC01`` — the layout above (one fixed 13-byte struct per record);
+* ``CALTRC02`` — the same preamble and footer semantics, but the record
+  stream is stored as per-epoch compressed frames (delta/run-length
+  tokens + zlib; see :mod:`repro.traces.compress`).
+
+:class:`TraceReader` detects the version from the magic and yields the
+identical ``(kind, address, arg)`` stream either way, so every consumer
+(replay, shard, multi-core, info) is version-agnostic; writers are
+chosen per version through :func:`trace_writer`.
 """
 
 from __future__ import annotations
@@ -46,6 +58,11 @@ from repro.workloads.generator import (  # noqa: F401  (re-exported)
 
 #: Bump the trailing digits when the binary layout changes shape.
 MAGIC = b"CALTRC01"
+
+#: The compressed container's magic; canonical home is
+#: :data:`repro.traces.compress.MAGIC_V2` (kept as a private alias here
+#: so version sniffing needs no import of the codec module).
+_MAGIC_V2 = b"CALTRC02"
 
 #: Terminator record kind; its ``arg`` is the footer's byte length.
 EV_END = 0xFF
@@ -76,8 +93,81 @@ class TraceIntegrityError(ValueError):
     """Raised when a replay's recomputed statistics contradict the footer."""
 
 
-class TraceWriter:
-    """Streaming writer: header up front, records appended, footer last.
+class TraceWriterBase:
+    """Shared plumbing of the streaming trace writers.
+
+    Handles everything that is identical across container versions —
+    path-vs-file-object ownership, the ``magic + header-length + header
+    JSON`` preamble (serialised *before* opening, so a non-JSON-able
+    header never leaves an empty file or a leaked descriptor behind),
+    footer stashing, :meth:`abort` and the context-manager protocol.
+    Subclasses define :attr:`MAGIC_BYTES`, the record buffer
+    (:meth:`append` / :meth:`_discard_buffer`) and :meth:`close`.
+    """
+
+    MAGIC_BYTES: bytes
+
+    def __init__(self, target: str | BinaryIO, header: dict):
+        self.header = dict(header)
+        header_bytes = json.dumps(self.header, sort_keys=True).encode("utf-8")
+        if isinstance(target, str):
+            self._file: BinaryIO = open(target, "wb")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self.record_count = 0
+        self._footer: dict | None = None
+        try:
+            self._file.write(self.MAGIC_BYTES)
+            self._file.write(_HEADER_LEN.pack(len(header_bytes)))
+            self._file.write(header_bytes)
+        except BaseException:
+            if self._owns_file:
+                self._file.close()
+            raise
+
+    def set_footer(self, footer: dict) -> None:
+        """Provide the summary written after the terminator."""
+        self._footer = dict(footer)
+
+    def _footer_bytes(self) -> bytes:
+        return json.dumps(self._footer or {}, sort_keys=True).encode("utf-8")
+
+    def _discard_buffer(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def abort(self) -> None:
+        """Close without writing a terminator/footer (error cleanup).
+
+        The file is left deliberately invalid-on-read; callers should
+        unlink it.
+        """
+        self._discard_buffer()
+        if self._owns_file:
+            self._file.close()
+
+    def _finish(self) -> None:
+        """Flush and release the target (the tail of every close())."""
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+class TraceWriter(TraceWriterBase):
+    """Streaming CALTRC01 writer: header, packed records, footer last.
 
     ``target`` is a path or a binary file object (e.g. ``io.BytesIO``).
     Use as a context manager, or call :meth:`close` with the footer::
@@ -88,32 +178,15 @@ class TraceWriter:
             writer.set_footer({"records": writer.record_count})
     """
 
+    MAGIC_BYTES = MAGIC
+
     #: Packed records buffered before a file write (~64 KB).
     FLUSH_RECORDS = 5000
 
     def __init__(self, target: str | BinaryIO, header: dict):
-        self.header = dict(header)
-        # Serialise before opening: a non-JSON-able header must not
-        # leave an empty file (or a leaked descriptor) behind.
-        header_bytes = json.dumps(self.header, sort_keys=True).encode("utf-8")
-        if isinstance(target, str):
-            self._file: BinaryIO = open(target, "wb")
-            self._owns_file = True
-        else:
-            self._file = target
-            self._owns_file = False
-        self.record_count = 0
-        self._footer: dict | None = None
+        super().__init__(target, header)
         self._buffer: list[bytes] = []
         self._pack = RECORD.pack
-        try:
-            self._file.write(MAGIC)
-            self._file.write(_HEADER_LEN.pack(len(header_bytes)))
-            self._file.write(header_bytes)
-        except BaseException:
-            if self._owns_file:
-                self._file.close()
-            raise
 
     def append(self, kind: int, address: int, arg: int) -> None:
         """Append one record.  This is the generator sink's hot call."""
@@ -123,40 +196,16 @@ class TraceWriter:
             self._file.write(b"".join(self._buffer))
             self._buffer.clear()
 
-    def set_footer(self, footer: dict) -> None:
-        """Provide the summary written after the terminator record."""
-        self._footer = dict(footer)
+    def _discard_buffer(self) -> None:
+        self._buffer.clear()
 
     def close(self) -> None:
-        footer_bytes = json.dumps(
-            self._footer or {}, sort_keys=True
-        ).encode("utf-8")
+        footer_bytes = self._footer_bytes()
         self._buffer.append(self._pack(EV_END, 0, len(footer_bytes)))
         self._file.write(b"".join(self._buffer))
         self._buffer.clear()
         self._file.write(footer_bytes)
-        self._file.flush()
-        if self._owns_file:
-            self._file.close()
-
-    def abort(self) -> None:
-        """Close without writing a terminator/footer (error cleanup).
-
-        The file is left deliberately invalid-on-read; callers should
-        unlink it.
-        """
-        self._buffer.clear()
-        if self._owns_file:
-            self._file.close()
-
-    def __enter__(self) -> "TraceWriter":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is None:
-            self.close()
-        else:
-            self.abort()
+        self._finish()
 
 
 class TraceReader:
@@ -181,9 +230,19 @@ class TraceReader:
             self._owns_file = False
         try:
             magic = self._file.read(len(MAGIC))
-            if magic != MAGIC:
+            if magic == MAGIC:
+                self.version = 1
+            elif magic == _MAGIC_V2:
+                self.version = 2
+            elif len(magic) < len(MAGIC):
                 raise TraceFormatError(
-                    f"not a Califorms trace (magic {magic!r}, wanted {MAGIC!r})"
+                    f"truncated trace: file ends inside the magic "
+                    f"({len(magic)} bytes)"
+                )
+            else:
+                raise TraceFormatError(
+                    f"not a Califorms trace (magic {magic!r}, wanted "
+                    f"{MAGIC!r} or {_MAGIC_V2!r})"
                 )
             try:
                 (header_len,) = _HEADER_LEN.unpack(
@@ -196,7 +255,7 @@ class TraceReader:
                 raise TraceFormatError("truncated trace header")
             try:
                 self.header: dict = json.loads(header_bytes)
-            except json.JSONDecodeError as error:
+            except ValueError as error:  # bad JSON or bad UTF-8
                 raise TraceFormatError(
                     f"corrupt trace header JSON: {error}"
                 ) from None
@@ -221,7 +280,12 @@ class TraceReader:
         without losing the chunk buffered by the suspended generator).
         """
         if self._records_iter is None:
-            self._records_iter = self._iter_records()
+            if self.version == 2:
+                from repro.traces.compress import iter_compressed_records
+
+                self._records_iter = iter_compressed_records(self)
+            else:
+                self._records_iter = self._iter_records()
         return self._records_iter
 
     def _iter_records(self) -> Iterator[tuple[int, int, int]]:
@@ -250,7 +314,12 @@ class TraceReader:
             footer_bytes += self._file.read(length - len(footer_bytes))
         if len(footer_bytes) != length:
             raise TraceFormatError("truncated trace footer")
-        self.footer = json.loads(footer_bytes)
+        try:
+            self.footer = json.loads(footer_bytes)
+        except ValueError as error:  # bad JSON or bad UTF-8
+            raise TraceFormatError(
+                f"corrupt trace footer JSON: {error}"
+            ) from None
 
     def read_footer(self) -> dict:
         """Drain remaining records and return the footer summary.
@@ -274,6 +343,23 @@ class TraceReader:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+def trace_writer(target: str | BinaryIO, header: dict, version: int = 1):
+    """Open a streaming writer for the requested container version.
+
+    Version 1 is the fixed-record :class:`TraceWriter`; version 2 the
+    frame-compressed :class:`~repro.traces.compress.CompressedTraceWriter`.
+    Both expose the same interface, so callers (recorder, sharder,
+    transcoder) stay version-agnostic.
+    """
+    if version == 1:
+        return TraceWriter(target, header)
+    if version == 2:
+        from repro.traces.compress import CompressedTraceWriter
+
+        return CompressedTraceWriter(target, header)
+    raise ValueError(f"unknown trace format version {version}")
 
 
 def read_header(path: str) -> dict:

@@ -17,7 +17,8 @@ from __future__ import annotations
 import os
 
 from repro.memory.hierarchy import WESTMERE, HierarchyConfig
-from repro.traces.format import EV_EPOCH, MAGIC, TraceWriter
+from repro.traces.compress import MAGIC_V2
+from repro.traces.format import EV_EPOCH, MAGIC, trace_writer
 from repro.traces.registry import SPEC_VERSION, TraceScenarioSpec
 from repro.workloads.generator import RunResult, run_trace
 
@@ -64,25 +65,57 @@ def _geometry_dict(config: HierarchyConfig) -> dict:
     }
 
 
+def _driver_for(spec: TraceScenarioSpec):
+    """Resolve the spec's trace driver (the function that runs the
+    workload live, with or without a sink).  ``generator`` is the
+    synthetic SPEC-like engine; ``attacks`` replays the exploit-suite
+    probe patterns of :mod:`repro.analysis.attacks` (heap grooming,
+    overflow probes, scans) through the same cache ladder."""
+    if spec.driver == "generator":
+        return run_trace
+    if spec.driver == "attacks":
+        from repro.traces.attack_driver import run_attack_trace
+
+        return run_attack_trace
+    raise ValueError(f"unknown trace driver {spec.driver!r}")
+
+
+def live_run(spec: TraceScenarioSpec, config: HierarchyConfig = WESTMERE) -> RunResult:
+    """Run a spec's workload live, unrecorded (driver-dispatched)."""
+    return _driver_for(spec)(
+        spec.profile,
+        spec.build_scenario(),
+        instructions=spec.instructions,
+        seed=spec.seed,
+        config=config,
+        warmup_fraction=spec.warmup_fraction,
+        quarantine_delay=spec.quarantine_delay,
+    )
+
+
 def record_spec(
     spec: TraceScenarioSpec,
     target,
     config: HierarchyConfig = WESTMERE,
+    compress: bool = False,
 ) -> RunResult:
     """Record one registry scenario to ``target`` (path or file object).
 
-    Runs the generator live with the recording sink attached and returns
-    the live :class:`RunResult`; the trace's footer carries the result's
-    statistics so any replay can verify itself against the recording.
+    Runs the spec's driver live with the recording sink attached and
+    returns the live :class:`RunResult`; the trace's footer carries the
+    result's statistics so any replay can verify itself against the
+    recording.  ``compress`` selects the CALTRC02 frame-compressed
+    container (the logical record stream — and hence every replay
+    statistic — is identical either way).
     """
     header = {
-        "format": MAGIC.decode("ascii"),
+        "format": (MAGIC_V2 if compress else MAGIC).decode("ascii"),
         "spec_version": SPEC_VERSION,
         "spec": spec.to_dict(),
         "geometry": _geometry_dict(config),
     }
     try:
-        return _record_to_writer(spec, target, config, header)
+        return _record_to_writer(spec, target, config, header, compress)
     except BaseException:
         # A failed/interrupted recording must not leave a terminator-less
         # file behind for a later replay glob to choke on.
@@ -94,10 +127,10 @@ def record_spec(
         raise
 
 
-def _record_to_writer(spec, target, config, header) -> RunResult:
-    with TraceWriter(target, header) as writer:
+def _record_to_writer(spec, target, config, header, compress) -> RunResult:
+    with trace_writer(target, header, version=2 if compress else 1) as writer:
         sink = RecordingSink(writer, spec.epoch_bursts)
-        result = run_trace(
+        result = _driver_for(spec)(
             spec.profile,
             spec.build_scenario(),
             instructions=spec.instructions,

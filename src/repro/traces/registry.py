@@ -9,11 +9,14 @@ yields byte-identical traces; replaying a trace reproduces the live
 run's statistics exactly (the round-trip invariant the test suite
 enforces).
 
-The built-in :data:`CORPUS` holds six named realistic mixes, spanning
+The built-in :data:`CORPUS` holds eight named realistic mixes, spanning
 the axes the paper's SPEC suite spans — allocation churn, streaming
-scans, pointer chasing, quarantine pressure and DMA-style bulk traffic —
-so experiments can share persisted workloads instead of re-synthesising
-them per figure.
+scans, pointer chasing, quarantine pressure, DMA-style bulk traffic,
+allocator fragmentation and an exploit-suite attack campaign — so
+experiments can share persisted workloads instead of re-synthesising
+them per figure.  The content-addressed corpus store
+(:mod:`repro.corpus`) binds these specs (by fingerprint) to recorded
+trace objects on disk.
 """
 
 from __future__ import annotations
@@ -28,6 +31,13 @@ from repro.workloads.specs import SPEC_PROFILES, BenchmarkProfile
 
 #: Bump when the spec document gains/renames required keys.
 SPEC_VERSION = 1
+
+#: Trace drivers a spec may name: ``generator`` is the synthetic
+#: SPEC-like workload engine (:func:`repro.workloads.generator.run_trace`);
+#: ``attacks`` drives the exploit-suite probe patterns of
+#: :mod:`repro.analysis.attacks` through the recorder
+#: (:func:`repro.traces.attack_driver.run_attack_trace`).
+KNOWN_DRIVERS = ("generator", "attacks")
 
 
 def policy_to_str(policy: Policy | tuple[str, int] | None) -> str | None:
@@ -73,10 +83,17 @@ class TraceScenarioSpec:
     quarantine_delay: int = 16
     #: Bursts per epoch; epochs are the shard split granularity.
     epoch_bursts: int = 64
+    #: Which live engine produces the event stream (see KNOWN_DRIVERS).
+    driver: str = "generator"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("spec needs a name")
+        if self.driver not in KNOWN_DRIVERS:
+            raise ValueError(
+                f"unknown driver {self.driver!r}; "
+                f"expected one of {', '.join(KNOWN_DRIVERS)}"
+            )
         if self.instructions <= 0:
             raise ValueError("instructions must be positive")
         if self.warmup_fraction < 0:
@@ -146,7 +163,7 @@ def _profile(name: str, **kwargs) -> BenchmarkProfile:
     return BenchmarkProfile(name=name, **kwargs)
 
 
-#: The six named realistic mixes.  Profile constants follow the same
+#: The eight named realistic mixes.  Profile constants follow the same
 #: calibration logic as ``workloads.specs`` (heap size pins the cache-
 #: ladder position, alloc rate drives CFORM cost, scan/skew shape
 #: locality); each mix stresses one axis the SPEC profiles only touch
@@ -231,6 +248,33 @@ CORPUS: dict[str, TraceScenarioSpec] = {
                 overlap=5.0, base_cpi=0.76,
             ),
             policy="opportunistic", with_cform=True, seed=66,
+        ),
+        TraceScenarioSpec(
+            name="fragmentation-heavy",
+            description="mixed small-struct and odd-sized buffer churn "
+            "through a deep quarantine: free lists fragment, reuse "
+            "scatters, full policy with CFORM",
+            profile=_profile(
+                "fragmentation-heavy", heap_kb=800, allocs_per_kinst=12.0,
+                mem_ratio=0.41, locality_skew=0.30, scan_fraction=0.10,
+                burst_length=5, stack_fraction=0.15, struct_fraction=0.50,
+                ptr_array_fraction=0.35, raw_buffer_bytes=600,
+                overlap=4.4, base_cpi=0.84,
+            ),
+            policy="full", with_cform=True, seed=77, quarantine_delay=128,
+        ),
+        TraceScenarioSpec(
+            name="attack-replay",
+            description="exploit-suite campaign from analysis.attacks: "
+            "heap grooming plus overflow/UAF/scan probe bursts",
+            profile=_profile(
+                "attack-replay", heap_kb=512, allocs_per_kinst=6.0,
+                mem_ratio=0.40, locality_skew=0.45, scan_fraction=0.30,
+                burst_length=8, stack_fraction=0.10, struct_fraction=0.60,
+                ptr_array_fraction=0.30, raw_buffer_bytes=256,
+                overlap=4.0, base_cpi=0.85,
+            ),
+            policy=None, with_cform=False, seed=88, driver="attacks",
         ),
     )
 }

@@ -67,7 +67,7 @@ from repro.traces.format import (
     TraceFormatError,
     TraceIntegrityError,
     TraceReader,
-    TraceWriter,
+    trace_writer,
 )
 from repro.traces.registry import TraceScenarioSpec
 from repro.workloads.generator import RunResult
@@ -389,7 +389,9 @@ def shard_trace(path: str, out_dir: str, shards: int) -> list[str]:
     FREE/ALLOC/CFORM cluster.  Each shard is itself a valid trace file
     carrying the original header plus a ``shard`` stanza; shard footers
     hold per-shard record counts (events are recomputed at replay — a
-    cold ladder per shard, SimPoint-style).
+    cold ladder per shard, SimPoint-style).  Shards inherit the source's
+    container version, so splitting a compressed (CALTRC02) trace yields
+    compressed shards.
     """
     if shards <= 0:
         raise ValueError("shards must be positive")
@@ -402,7 +404,7 @@ def shard_trace(path: str, out_dir: str, shards: int) -> list[str]:
     base = os.path.splitext(os.path.basename(path))[0]
 
     reader = TraceReader(path)
-    writers: list[TraceWriter] = []
+    writers: list = []
     counts: list[dict] = []
     paths: list[str] = []
     completed = False
@@ -411,7 +413,7 @@ def shard_trace(path: str, out_dir: str, shards: int) -> list[str]:
             header = dict(reader.header)
             header["shard"] = {"index": index, "of": shards}
             shard_path = os.path.join(out_dir, f"{base}.shard{index:03d}.trace")
-            writers.append(TraceWriter(shard_path, header))
+            writers.append(trace_writer(shard_path, header, reader.version))
             counts.append({KIND_NAMES[k]: 0 for k in KIND_NAMES})
             paths.append(shard_path)
         segment = 0

@@ -50,6 +50,67 @@ def test_record_info_replay_shard_pipeline(tmp_path, capsys):
     assert "region replay of shard 1/3" in capsys.readouterr().out
 
 
+def test_compressed_record_info_replay(tmp_path, capsys):
+    trace = str(tmp_path / "cli.v2.trace")
+    assert main(
+        ["record", "--scenario", "scan-heavy", "--instructions", "3000",
+         "--compress", "--out", trace]
+    ) == 0
+    assert "CALTRC02 compressed" in capsys.readouterr().out
+
+    assert main(["info", trace, "--frames"]) == 0
+    out = capsys.readouterr().out
+    assert "CALTRC02" in out
+    assert "compression" in out
+    assert "frame    0" in out
+
+    assert main(["replay", trace]) == 0
+    assert "verified bit-identical" in capsys.readouterr().out
+
+    shard_dir = str(tmp_path / "shards")
+    assert main(["shard", trace, "--out-dir", shard_dir, "-n", "2"]) == 0
+    capsys.readouterr()
+    shards = sorted(glob.glob(shard_dir + "/*.trace"))
+    assert main(["replay-shards", *shards]) == 0
+    assert "merged over 2 shards" in capsys.readouterr().out
+
+    assert main(["replay-mc", trace, "--cores", "2"]) == 0
+    assert "merged over 2 cores" in capsys.readouterr().out
+
+
+def test_info_on_truncated_file_fails_clearly(tmp_path, capsys):
+    for compress in (False, True):
+        trace = str(tmp_path / f"trunc-{compress}.trace")
+        assert main(
+            ["record", "--scenario", "server-churn", "--instructions", "2000",
+             *(["--compress"] if compress else []), "--out", trace]
+        ) == 0
+        capsys.readouterr()
+        with open(trace, "rb") as handle:
+            raw = handle.read()
+        for cut in (3, 10, len(raw) // 2, len(raw) - 4):
+            with open(trace, "wb") as handle:
+                handle.write(raw[:cut])
+            assert main(["info", trace]) == 1
+            err = capsys.readouterr().err
+            assert err.startswith("error:")
+            assert "struct" not in err
+
+
+def test_info_on_corrupted_header_fails_clearly(tmp_path, capsys):
+    trace = str(tmp_path / "corrupt.trace")
+    assert main(
+        ["record", "--scenario", "server-churn", "--instructions", "2000",
+         "--compress", "--out", trace]
+    ) == 0
+    capsys.readouterr()
+    with open(trace, "r+b") as handle:
+        handle.seek(500)  # inside the header JSON
+        handle.write(b"\x9a")
+    assert main(["info", trace]) == 1
+    assert "error: corrupt trace header" in capsys.readouterr().err
+
+
 def test_record_from_spec_file(tmp_path, capsys):
     spec_path = tmp_path / "custom.json"
     document = CORPUS["dma-mixed"].scaled(2000).to_dict()

@@ -30,7 +30,7 @@ class TestPolicyStrings:
 
 
 class TestCorpus:
-    def test_six_named_mixes(self):
+    def test_eight_named_mixes(self):
         assert set(CORPUS) == {
             "server-churn",
             "allocator-stress",
@@ -38,6 +38,8 @@ class TestCorpus:
             "pointer-chase",
             "quarantine-pressure",
             "dma-mixed",
+            "fragmentation-heavy",
+            "attack-replay",
         }
 
     def test_lookup(self):
@@ -66,6 +68,21 @@ class TestCorpus:
 
     def test_quarantine_pressure_deepens_quarantine(self):
         assert CORPUS["quarantine-pressure"].quarantine_delay > 16
+
+    def test_fragmentation_heavy_deepens_quarantine(self):
+        assert CORPUS["fragmentation-heavy"].quarantine_delay > 16
+
+    def test_attack_replay_uses_the_attacks_driver(self):
+        assert CORPUS["attack-replay"].driver == "attacks"
+        assert all(
+            spec.driver == "generator"
+            for name, spec in CORPUS.items()
+            if name != "attack-replay"
+        )
+
+    def test_unknown_driver_rejected(self):
+        with pytest.raises(ValueError, match="unknown driver"):
+            dataclasses.replace(CORPUS["server-churn"], driver="fuzzer")
 
 
 class TestSpecDocuments:

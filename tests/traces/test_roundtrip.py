@@ -19,7 +19,7 @@ from repro.traces import (
     replay_timing,
     shard_trace,
 )
-from repro.workloads.generator import run_trace
+from repro.traces.recorder import live_run
 
 #: Short traces keep the whole-corpus sweep fast; the invariant is
 #: length-independent.
@@ -44,14 +44,8 @@ def recorded(tmp_path_factory):
 @pytest.mark.parametrize("name", ALL_SCENARIOS)
 def test_recording_does_not_perturb_the_run(name, recorded):
     spec, _, live = recorded[name]
-    plain = run_trace(
-        spec.profile,
-        spec.build_scenario(),
-        instructions=spec.instructions,
-        seed=spec.seed,
-        warmup_fraction=spec.warmup_fraction,
-        quarantine_delay=spec.quarantine_delay,
-    )
+    # live_run dispatches on the spec's driver (generator or attacks).
+    plain = live_run(spec)
     assert plain.events == live.events
     assert plain.instructions == live.instructions
     assert plain.cform_instructions == live.cform_instructions
