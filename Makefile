@@ -20,7 +20,8 @@ DEMO_DIR_SETUP = set -e; dir="$(TRACE_DEMO_DIR)"; \
 CORPUS_DIR ?= .repro-corpus
 
 .PHONY: test test-slow bench bench-quick bench-smoke bench-profile \
-        experiments experiments-full trace-demo trace-demo-mc corpus-demo
+        experiments experiments-full experiments-smoke \
+        trace-demo trace-demo-mc corpus-demo
 
 ## Tier-1 verification: the full test + microbenchmark session.
 test:
@@ -46,13 +47,18 @@ bench-smoke: bench-quick
 bench-profile:
 	$(PY) -m repro.perf --profile $(BENCH_ARGS)
 
-## Regenerate EXPERIMENTS.md (quick mode).
+## Regenerate EXPERIMENTS.md + results/*.json (quick profile).
 experiments:
-	$(PY) -m repro.experiments.runner
+	$(PY) -m repro run
 
 ## Full-fidelity experiments, parallelised across 4 worker processes.
 experiments-full:
-	$(PY) -m repro.experiments.runner --full --jobs 4
+	$(PY) -m repro run --full --jobs 4
+
+## CI gate: the whole experiment matrix at quick profile, 2 workers;
+## writes EXPERIMENTS.md and the results/*.json artifact set.
+experiments-smoke:
+	$(PY) -m repro run --profile quick --jobs 2
 
 ## Trace engine end-to-end: record -> info -> shard -> parallel replay.
 ## Runs in a private mktemp dir (removed on exit) unless TRACE_DEMO_DIR

@@ -3,9 +3,9 @@
 Every benchmark regenerates one of the paper's tables or figures; the
 measured payloads are printed so ``pytest benchmarks/ --benchmark-only -s``
 doubles as a results dump.  Scales are kept small enough for the whole
-suite to run in a couple of minutes; the experiments runner
-(``python -m repro.experiments.runner --full``) produces the
-higher-fidelity numbers for EXPERIMENTS.md.
+suite to run in a couple of minutes; the experiment registry
+(``python -m repro run --full``) produces the higher-fidelity numbers
+for EXPERIMENTS.md and results/*.json.
 """
 
 import pytest

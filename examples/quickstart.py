@@ -4,12 +4,16 @@ Runs the paper's Listing 1 example end to end: declare ``struct A``,
 let the compiler pass insert security bytes, allocate an instance on the
 simulated califormed heap, use it legitimately, then watch an
 intra-object overflow from ``buf`` into the function pointer raise the
-privileged Califorms exception.
+privileged Califorms exception.  Closes by running one registered
+experiment through the unified API — the same path
+``python -m repro run`` takes for every section.
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
 
 from repro.core.exceptions import SecurityByteAccess
+from repro.experiments import RunContext
+from repro.experiments.registry import get
 from repro.softstack.ctypes_model import LISTING_1_STRUCT_A
 from repro.softstack.insertion import Policy
 from repro.softstack.runtime import Process
@@ -58,6 +62,17 @@ def main() -> None:
     print(
         f"\nheap stats: {stats.mallocs} mallocs, {stats.frees} frees, "
         f"{stats.cform_instructions} CFORM instructions issued"
+    )
+
+    # The experiment API in three lines: look an experiment up in the
+    # registry, hand it a context, get structured data + rendered
+    # markdown back (``python -m repro run fig03`` is exactly this).
+    result = get("fig03").run(RunContext())
+    spec_census = result.data["census"]["spec"]
+    print(
+        f"\nregistry spot-check — {result.title}: "
+        f"{spec_census['struct_count']} structs, padded fraction "
+        f"{spec_census['padded_fraction']:.3f} (paper 0.457)"
     )
 
 

@@ -10,17 +10,25 @@ Walks the full life of a persisted workload:
 4. shard the trace at epoch boundaries and replay the shards across
    worker processes, checking that parallelism never changes results;
 5. run the same trace through the data-carrying hierarchy for
-   exception accounting.
+   exception accounting;
+6. resolve the same scenario through a :class:`RunContext`-carried
+   corpus store — the unified experiment API's way of reaching recorded
+   workloads (``python -m repro run --tag trace`` rides this path).
 
 Run with::
 
     PYTHONPATH=src python examples/trace_workflows.py
+
+Every step also has a CLI twin under the one front door:
+``python -m repro trace record|info|shard|replay-shards ...`` and
+``python -m repro corpus build|ls ...``.
 """
 
 import os
 import tempfile
 import time
 
+from repro.experiments import RunContext
 from repro.memory.hierarchy import WESTMERE
 from repro.traces import (
     TraceReader,
@@ -94,7 +102,22 @@ def main() -> None:
     print(
         f"hierarchy replay: {hierarchy_stats.violations} security-byte "
         f"violations, {hierarchy_stats.amat_cycles} cycles "
-        f"(CFORM records applied as line-tail security bytes)"
+        f"(CFORM records applied as line-tail security bytes)\n"
+    )
+
+    # -- 6. the experiment API's view: a context-carried corpus store --------
+    # RunContext is the one place corpus roots are resolved; experiments
+    # never guess.  ensure() records on first use and replays a
+    # content-addressed hit thereafter.
+    ctx = RunContext.create("quick", corpus=os.path.join(workdir, "corpus"))
+    first = ctx.store.ensure(spec)
+    again = ctx.store.ensure(spec)
+    print(
+        f"corpus via RunContext: {first.entry.records} records, "
+        f"{'recorded' if first.built else 'corpus hit'} then "
+        f"{'recorded' if again.built else 'corpus hit'} "
+        f"({first.entry.compression_ratio:.1f}x compressed, "
+        f"digest {first.entry.digest[:12]})"
     )
     print(f"\nartifacts kept under {workdir}")
 

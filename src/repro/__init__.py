@@ -25,7 +25,9 @@ Subpackages
 ``repro.analysis``
     Timing, VLSI and security analytics.
 ``repro.experiments``
-    One driver per paper table/figure plus the EXPERIMENTS.md runner.
+    The declarative experiment registry (one driver per paper
+    table/figure), RunContext, structured results and the generic
+    runner behind ``python -m repro run``.
 """
 
 __version__ = "1.0.0"

@@ -22,10 +22,14 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.memory.hierarchy import WESTMERE, HierarchyConfig
 from repro.workloads.generator import Scenario, slowdown
 from repro.workloads.specs import SPEC_PROFILES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus.store import CorpusStore
 
 
 @dataclass(frozen=True)
@@ -69,14 +73,17 @@ def sweep(
     baseline_config: HierarchyConfig = WESTMERE,
     variant_config: HierarchyConfig | None = None,
     label: str | None = None,
-    store=None,
+    store: "CorpusStore | None" = None,
 ) -> SuiteResult:
     """Run one configuration over a benchmark list.
 
     ``binary_seeds`` generates differently-randomised layouts of the same
     program (the paper compiles three binaries per random-span setup).
-    ``store`` (a :class:`repro.corpus.CorpusStore`) resolves each cell
-    through the recorded-trace corpus instead of live synthesis.
+    ``store`` (a :class:`repro.corpus.CorpusStore`, or ``None`` for live
+    synthesis) resolves each cell through the recorded-trace corpus; the
+    experiment layer resolves the default store in exactly one place —
+    :attr:`repro.experiments.context.RunContext.store` — so this function
+    never guesses a corpus root itself.
     """
     compute = slowdown if store is None else store.slowdown
     entries = []

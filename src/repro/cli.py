@@ -1,0 +1,198 @@
+"""One front door: ``python -m repro``.
+
+Subcommands::
+
+    run     run registered experiments (by name/tag; default: all) and
+            write EXPERIMENTS.md + results/*.json
+    perf    the perf harness            (= python -m repro.perf ...)
+    trace   the trace engine            (= python -m repro.traces ...)
+    corpus  the corpus store            (= python -m repro.corpus ...)
+
+``run`` is implemented here against the experiment registry; the other
+three delegate verbatim to the existing module CLIs, so every flag those
+tools document works unchanged.  Examples::
+
+    python -m repro run                        # all sections, quick
+    python -m repro run fig10 fig11            # two sections by name
+    python -m repro run --tag trace            # everything trace-backed
+    python -m repro run --full --jobs 4        # the paper-scale report
+    python -m repro run --list                 # what exists
+    python -m repro perf --quick
+    python -m repro trace list
+    python -m repro corpus ls
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments.context import PROFILES, RunContext
+from repro.experiments.registry import (
+    UnknownExperimentError,
+    all_experiments,
+    select,
+)
+from repro.experiments.runner import (
+    DEFAULT_RESULTS_DIR,
+    execute,
+    write_report,
+    write_results,
+)
+
+
+def _cmd_list() -> int:
+    experiments = all_experiments()
+    width = max(len(experiment.name) for experiment in experiments)
+    for experiment in experiments:
+        tags = ",".join(sorted(experiment.tags))
+        needs = ",".join(sorted(experiment.needs)) or "-"
+        print(
+            f"{experiment.name:{width}s}  {tags:18s} needs={needs:28s} "
+            f"{experiment.title}"
+        )
+    return 0
+
+
+def _cmd_run(arguments: argparse.Namespace) -> int:
+    if arguments.list:
+        return _cmd_list()
+    profile = "full" if arguments.full else arguments.profile
+    ctx = RunContext.create(
+        profile=profile,
+        corpus=arguments.corpus,
+        no_corpus=arguments.no_corpus,
+        jobs=arguments.jobs,
+    )
+    experiments = select(arguments.names, arguments.tag or ())
+    started = time.time()
+    results = execute(experiments, ctx)
+    # A name/tag selection defaults its artifacts to partial locations
+    # (EXPERIMENTS.partial.md, results/partial/) so it never clobbers
+    # the canonical all-sections report and results trajectory; an
+    # explicit --output/--results-dir always wins.
+    partial = bool(arguments.names or arguments.tag)
+    output = arguments.output or (
+        "EXPERIMENTS.partial.md" if partial else "EXPERIMENTS.md"
+    )
+    results_dir = arguments.results_dir or (
+        os.path.join(DEFAULT_RESULTS_DIR, "partial")
+        if partial
+        else DEFAULT_RESULTS_DIR
+    )
+    write_report(results, output)
+    if not arguments.no_results:
+        paths = write_results(results, results_dir, profile=ctx.profile)
+        print(f"results: {len(paths) - 1} section file(s) in {results_dir}/")
+    if ctx.corpus_root is not None:
+        print(f"corpus: {ctx.corpus_root}")
+    print(
+        f"wrote {output} ({len(results)} section(s)) "
+        f"in {time.time() - started:.0f}s"
+    )
+    return 0
+
+
+#: Delegated subcommands: name -> import path of the module CLI's main.
+#: Dispatched before argparse sees the argv tail, because
+#: ``nargs=REMAINDER`` refuses tails that start with an option token
+#: (``python -m repro perf --list``).
+_DELEGATED = {
+    "perf": "repro.perf.__main__",
+    "trace": "repro.traces.__main__",
+    "corpus": "repro.corpus.__main__",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in _DELEGATED:
+        import importlib
+
+        module = importlib.import_module(_DELEGATED[argv[0]])
+        return module.main(argv[1:])
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Califorms reproduction: experiments, perf harness, "
+        "trace engine and corpus store behind one CLI.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run",
+        help="run registered experiments and write EXPERIMENTS.md + "
+        "results/*.json",
+    )
+    run.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="experiment names to run (default: all; see --list)",
+    )
+    run.add_argument(
+        "--tag", action="append", metavar="TAG",
+        help="also select every experiment carrying TAG (repeatable)",
+    )
+    run.add_argument(
+        "--profile", choices=sorted(PROFILES), default="quick",
+        help="workload scale (default: quick)",
+    )
+    run.add_argument(
+        "--full", action="store_true",
+        help="shorthand for --profile full (long traces, 3 seeds)",
+    )
+    run.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for the experiment sections (default: 1)",
+    )
+    run.add_argument(
+        "--output", default=None,
+        help="report path (default: EXPERIMENTS.md; name/tag selections "
+        "default to EXPERIMENTS.partial.md)",
+    )
+    run.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help=f"per-section JSON output directory (default: "
+        f"{DEFAULT_RESULTS_DIR}/; name/tag selections default to "
+        f"{DEFAULT_RESULTS_DIR}/partial/)",
+    )
+    run.add_argument(
+        "--no-results", action="store_true",
+        help="skip writing the per-section JSON documents",
+    )
+    run.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="corpus store root for the trace-consuming sections "
+        "(default: $REPRO_CORPUS_DIR or ./.repro-corpus)",
+    )
+    run.add_argument(
+        "--no-corpus", action="store_true",
+        help="synthesise every workload live instead of using the corpus",
+    )
+    run.add_argument(
+        "--list", action="store_true",
+        help="list registered experiments (name, tags, needs) and exit",
+    )
+
+    # Registered for `python -m repro -h` discoverability; actual
+    # dispatch happened above, before argparse.
+    for name, help_text in (
+        ("perf", "perf harness (= python -m repro.perf ...)"),
+        ("trace", "trace engine (= python -m repro.traces ...)"),
+        ("corpus", "corpus store (= python -m repro.corpus ...)"),
+    ):
+        commands.add_parser(name, help=help_text, add_help=False)
+
+    arguments = parser.parse_args(argv)
+    if arguments.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    try:
+        return _cmd_run(arguments)
+    except UnknownExperimentError as error:
+        parser.error(str(error.args[0]) if error.args else str(error))
+        return 2  # unreachable; parser.error exits
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,13 @@
 """Experiment drivers: one module per paper table/figure.
 
+Every driver registers itself with :mod:`repro.experiments.registry`
+(the :func:`~repro.experiments.registry.experiment` decorator): it
+declares a name, tags and needs, and implements
+``run_experiment(ctx) -> SectionResult`` on top of its figure-specific
+``run()``/``render()`` pair.  The runner and the ``python -m repro``
+CLI discover everything from the registry — adding a section is one
+decorated function, not a runner edit.
+
 =================================  =========================================
 Module                             Reproduces
 =================================  =========================================
@@ -10,7 +18,12 @@ Module                             Reproduces
 ``fig12_intelligent``              Figure 12 (intelligent ± CFORM)
 ``tables``                         Tables 1, 2, 3, 4, 5, 6, 7
 ``sec7_derandomization``           Section 7.3 attack probabilities
-``runner``                         everything → EXPERIMENTS.md
+``trace_checks``                   figures recomputed from corpus traces
+``mc_contention``                  multi-core shared-L3 contention
+``registry``                       the declarative experiment registry
+``context``                        the frozen per-run :class:`RunContext`
+``results``                        structured :class:`SectionResult`
+``runner``                         generic executor → EXPERIMENTS.md + JSON
 =================================  =========================================
 """
 
@@ -23,3 +36,12 @@ from repro.experiments import (  # noqa: F401
     sec7_derandomization,
     tables,
 )
+from repro.experiments.context import RunContext  # noqa: F401
+from repro.experiments.registry import (  # noqa: F401
+    Experiment,
+    UnknownExperimentError,
+    all_experiments,
+    experiment,
+    select,
+)
+from repro.experiments.results import SectionResult  # noqa: F401

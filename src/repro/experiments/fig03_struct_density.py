@@ -9,6 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.context import RunContext
+from repro.experiments.registry import experiment, section
+from repro.experiments.results import SectionResult
 from repro.softstack.layout import densities, fraction_with_padding
 from repro.workloads.structs_corpus import spec_corpus, v8_corpus
 
@@ -74,3 +77,19 @@ def render(results: dict[str, DensityCensus]) -> str:
             lines.append(f"  ({low:.1f}, {high:.1f}]  {fraction:5.3f}  {bar}")
         lines.append("")
     return "\n".join(lines)
+
+
+@experiment(
+    name="fig03",
+    title="Figure 3 — struct density census",
+    tags=("figure",),
+    order=10,
+)
+def run_experiment(ctx: RunContext) -> SectionResult:
+    """The census is corpus-size-, profile- and seed-stable by design
+    (fixed 400-struct synthetic corpora), so the context carries no knobs
+    for it."""
+    results = run()
+    return section(
+        "fig03", {"paper": PAPER, "census": results}, render(results)
+    )

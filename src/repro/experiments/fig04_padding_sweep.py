@@ -7,10 +7,17 @@ SPEC benchmarks, "mainly due to ineffective cache usage".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.suite import SuiteResult, sweep
+from repro.experiments.context import RunContext
+from repro.experiments.registry import experiment, section
+from repro.experiments.results import SectionResult
 from repro.workloads.generator import Scenario
 from repro.workloads.specs import FIG10_BENCHMARKS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus.store import CorpusStore
 
 #: Paper values: average slowdown per padding size (percent).
 PAPER = {1: 3.0, 2: 5.4, 3: 5.8, 4: 5.8, 5: 6.0, 6: 6.2, 7: 7.6}
@@ -30,7 +37,7 @@ def run(
     instructions: int = 100_000,
     benchmarks: list[str] | None = None,
     sizes: tuple[int, ...] = PADDING_SIZES,
-    store=None,
+    store: "CorpusStore | None" = None,
 ) -> PaddingSweepResult:
     """``store`` resolves every cell through the recorded-trace corpus
     (:class:`repro.corpus.CorpusStore`); the seven padding sizes then
@@ -57,3 +64,20 @@ def render(result: PaddingSweepResult) -> str:
         paper_text = f"{paper:5.1f}%" if paper is not None else "    -"
         lines.append(f"  {size}B     {average * 100:6.2f}%   {paper_text}")
     return "\n".join(lines)
+
+
+@experiment(
+    name="fig04",
+    title="Figure 4 — fixed padding sweep",
+    tags=("figure", "trace"),
+    needs=("instructions", "corpus"),
+    order=20,
+)
+def run_experiment(ctx: RunContext) -> SectionResult:
+    result = run(instructions=ctx.instructions, store=ctx.store)
+    data = {
+        "paper": PAPER,
+        "averages": result.averages(),
+        "per_size": result.per_size,
+    }
+    return section("fig04", data, render(result))

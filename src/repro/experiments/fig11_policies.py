@@ -12,11 +12,18 @@ Seven bar groups per benchmark in the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.suite import SuiteResult, sweep
+from repro.experiments.context import RunContext
+from repro.experiments.registry import experiment, section
+from repro.experiments.results import SectionResult
 from repro.softstack.insertion import Policy
 from repro.workloads.generator import Scenario
 from repro.workloads.specs import FIG11_BENCHMARKS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus.store import CorpusStore
 
 #: Paper averages (percent) per configuration key.
 PAPER = {
@@ -60,7 +67,7 @@ def run(
     instructions: int = 100_000,
     benchmarks: list[str] | None = None,
     binary_seeds: tuple[int, ...] = (0,),
-    store=None,
+    store: "CorpusStore | None" = None,
 ) -> Fig11Result:
     """``store`` resolves every cell through the recorded-trace corpus;
     the seven configurations then share one recorded baseline per
@@ -94,3 +101,22 @@ def render(result: Fig11Result) -> str:
     for entry in sorted(outliers.per_benchmark, key=lambda e: -e.mean)[:3]:
         lines.append(f"  {entry.benchmark:11s} {entry.mean * 100:5.1f}%")
     return "\n".join(lines)
+
+
+@experiment(
+    name="fig11",
+    title="Figure 11 — opportunistic & full policies",
+    tags=("figure", "trace"),
+    needs=("instructions", "seeds", "corpus"),
+    order=70,
+)
+def run_experiment(ctx: RunContext) -> SectionResult:
+    result = run(
+        instructions=ctx.instructions, binary_seeds=ctx.seeds, store=ctx.store
+    )
+    data = {
+        "paper": PAPER,
+        "averages": result.averages(),
+        "configurations": result.configurations,
+    }
+    return section("fig11", data, render(result))

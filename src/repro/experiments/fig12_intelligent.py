@@ -11,6 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.suite import SuiteResult, sweep
+from repro.experiments.context import RunContext
+from repro.experiments.registry import experiment, section
+from repro.experiments.results import SectionResult
 from repro.softstack.insertion import Policy
 from repro.workloads.generator import Scenario
 from repro.workloads.specs import FIG11_BENCHMARKS
@@ -73,3 +76,20 @@ def render(result: Fig12Result) -> str:
         entry = cform_suite.benchmark(name)
         lines.append(f"  {name:11s} {entry.mean * 100:5.1f}%")
     return "\n".join(lines)
+
+
+@experiment(
+    name="fig12",
+    title="Figure 12 — intelligent policy",
+    tags=("figure",),
+    needs=("instructions", "seeds"),
+    order=80,
+)
+def run_experiment(ctx: RunContext) -> SectionResult:
+    result = run(instructions=ctx.instructions, binary_seeds=ctx.seeds)
+    data = {
+        "paper": PAPER,
+        "averages": result.averages(),
+        "configurations": result.configurations,
+    }
+    return section("fig12", data, render(result))

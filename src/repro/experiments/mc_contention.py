@@ -27,6 +27,9 @@ import tempfile
 from dataclasses import dataclass
 
 from repro.corpus.store import CorpusStore
+from repro.experiments.context import RunContext
+from repro.experiments.registry import experiment, section
+from repro.experiments.results import SectionResult
 from repro.memory.hierarchy import WESTMERE
 from repro.traces.registry import multicore_mix
 from repro.traces.replayer import replay_multicore
@@ -126,3 +129,18 @@ def render(rows: list[CoreContention]) -> str:
         "pessimistic +1-cycle L2/L3 latency."
     )
     return "\n".join(lines)
+
+
+@experiment(
+    name="multicore",
+    title="Multi-core — shared-L3 contention under extra latency",
+    tags=("multicore", "trace"),
+    needs=("instructions", "corpus"),
+    order=130,
+)
+def run_experiment(ctx: RunContext) -> SectionResult:
+    # Four per-core traces: a tenth of the figure length each keeps the
+    # recorded corpus and replay cost proportionate to the other sections.
+    rows = run(instructions=ctx.instructions // 10, store=ctx.store)
+    data = {"mix": MIX, "cores": rows}
+    return section("multicore", data, render(rows))

@@ -1,0 +1,190 @@
+"""Declarative experiment registry: the one list of everything runnable.
+
+An *experiment* is a named, tagged callable ``run(ctx) -> SectionResult``
+registered with the :func:`experiment` decorator::
+
+    @experiment(
+        name="fig10",
+        title="Figure 10 — +1-cycle L2/L3 latency",
+        tags=("figure",),
+        needs=("instructions", "corpus"),
+    )
+    def experiment_fig10(ctx: RunContext) -> SectionResult:
+        ...
+
+The registry replaces the old hand-wired ``_section_*`` tuple in the
+runner: selection by name (``python -m repro run fig10``) or tag
+(``--tag figure``) resolves here, report order is the declared ``order``,
+and unknown names fail with the full known list instead of silently
+running nothing.  Adding a scenario is now *one* decorated function —
+the runner, the CLI and the results writer all discover it from here.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.experiments.context import RunContext
+from repro.experiments.results import SectionResult
+
+#: Declared resources an experiment may consume (documentation + a
+#: selection axis; ``python -m repro run --list`` prints them).
+KNOWN_NEEDS = frozenset({"instructions", "seeds", "corpus"})
+
+#: Modules whose import registers experiments.  Kept as names (not
+#: imports) so this module stays cycle-free: experiment modules import
+#: the decorator from here.
+EXPERIMENT_MODULES: tuple[str, ...] = (
+    "repro.experiments.fig03_struct_density",
+    "repro.experiments.fig04_padding_sweep",
+    "repro.experiments.tables",
+    "repro.experiments.fig10_extra_latency",
+    "repro.experiments.fig11_policies",
+    "repro.experiments.fig12_intelligent",
+    "repro.experiments.sec7_derandomization",
+    "repro.experiments.trace_checks",
+    "repro.experiments.mc_contention",
+)
+
+
+class UnknownExperimentError(KeyError):
+    """Raised when selection names an experiment or tag that isn't registered."""
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment: identity, classification, entry point."""
+
+    name: str
+    title: str
+    fn: Callable[[RunContext], SectionResult] = field(repr=False)
+    tags: frozenset[str] = frozenset()
+    needs: frozenset[str] = frozenset()
+    order: int = 0
+
+    def run(self, ctx: RunContext) -> SectionResult:
+        result = self.fn(ctx)
+        if not isinstance(result, SectionResult):
+            raise TypeError(
+                f"experiment {self.name!r} returned "
+                f"{type(result).__name__}, not SectionResult"
+            )
+        return result
+
+
+_REGISTRY: dict[str, Experiment] = {}
+_loaded = False
+
+
+def experiment(
+    *,
+    name: str,
+    title: str,
+    tags: Iterable[str] = (),
+    needs: Iterable[str] = (),
+    order: int = 0,
+) -> Callable[[Callable[[RunContext], SectionResult]], Callable]:
+    """Register ``fn`` as the experiment ``name``; returns ``fn`` unchanged."""
+    unknown_needs = set(needs) - KNOWN_NEEDS
+    if unknown_needs:
+        raise ValueError(
+            f"experiment {name!r} declares unknown needs "
+            f"{sorted(unknown_needs)}; known: {sorted(KNOWN_NEEDS)}"
+        )
+
+    def register(fn: Callable[[RunContext], SectionResult]) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate experiment name {name!r}")
+        _REGISTRY[name] = Experiment(
+            name=name,
+            title=title,
+            fn=fn,
+            tags=frozenset(tags),
+            needs=frozenset(needs),
+            order=order,
+        )
+        return fn
+
+    return register
+
+
+def load_all() -> None:
+    """Import every experiment module so its registrations land."""
+    global _loaded
+    if _loaded:
+        return
+    for module in EXPERIMENT_MODULES:
+        importlib.import_module(module)
+    _loaded = True
+
+
+def registry() -> dict[str, Experiment]:
+    """Name → experiment, fully loaded."""
+    load_all()
+    return dict(_REGISTRY)
+
+
+def all_experiments() -> list[Experiment]:
+    """Every experiment in report order."""
+    load_all()
+    return sorted(_REGISTRY.values(), key=lambda e: (e.order, e.name))
+
+
+def all_tags() -> set[str]:
+    return {tag for exp in all_experiments() for tag in exp.tags}
+
+
+def get(name: str) -> Experiment:
+    load_all()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownExperimentError(
+            f"unknown experiment {name!r}; known: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def section(name: str, data, markdown: str) -> SectionResult:
+    """Build a :class:`SectionResult` stamped with ``name``'s registry
+    identity (title, tags) — the single source of truth for both."""
+    exp = _REGISTRY[name]
+    return SectionResult(
+        name=name,
+        title=exp.title,
+        data=data,
+        markdown=markdown,
+        tags=tuple(sorted(exp.tags)),
+    )
+
+
+def select(
+    names: Iterable[str] = (), tags: Iterable[str] = ()
+) -> list[Experiment]:
+    """Resolve a name/tag selection to experiments in report order.
+
+    With neither names nor tags, everything is selected.  Unknown names
+    or tags raise :class:`UnknownExperimentError` listing what exists —
+    a selection that silently matches nothing is always a bug.
+    """
+    names = list(names)
+    tags = list(tags)
+    chosen: dict[str, Experiment] = {}
+    for name in names:
+        chosen[name] = get(name)
+    if tags:
+        known_tags = all_tags()
+        unknown = sorted(set(tags) - known_tags)
+        if unknown:
+            raise UnknownExperimentError(
+                f"unknown tag(s) {', '.join(unknown)}; known: "
+                f"{', '.join(sorted(known_tags))}"
+            )
+        for exp in all_experiments():
+            if exp.tags.intersection(tags):
+                chosen[exp.name] = exp
+    if not names and not tags:
+        return all_experiments()
+    return sorted(chosen.values(), key=lambda e: (e.order, e.name))

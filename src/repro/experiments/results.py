@@ -1,0 +1,103 @@
+"""Structured experiment results: JSON data + rendered markdown.
+
+Every registered experiment returns a :class:`SectionResult` — the
+machine-readable side (``data``, persisted as ``results/<name>.json``)
+and the human-readable side (``markdown``, assembled into
+``EXPERIMENTS.md``) of the same measurement.  Keeping both in one value
+means the runner can emit a regression-gateable JSON trajectory without
+a second execution, and a rendered report without a separate renderer
+pass.
+
+``data`` is normalised to the JSON object model at construction time
+(via an encode/decode round-trip), so ``SectionResult`` values survive
+serialisation *exactly*: ``SectionResult.from_dict(r.to_dict()) == r``
+holds even when the experiment handed us dataclass-derived dicts with
+``int`` keys or tuples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Schema tag written into every results JSON document.
+RESULT_SCHEMA = "repro-section-result/v1"
+
+
+def jsonable(value: Any) -> Any:
+    """Normalise ``value`` into the plain JSON object model.
+
+    Dataclasses become dicts, tuples become lists, non-string mapping
+    keys become strings — exactly what a ``json.dumps``/``loads``
+    round-trip would produce, so normalised values compare equal after
+    serialisation.
+    """
+    def encode(obj: Any) -> Any:
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            return dataclasses.asdict(obj)
+        if isinstance(obj, (set, frozenset)):
+            return sorted(obj)
+        raise TypeError(
+            f"experiment data contains non-JSON value of type "
+            f"{type(obj).__name__}: {obj!r}"
+        )
+
+    return json.loads(json.dumps(value, default=encode, sort_keys=False))
+
+
+@dataclass(frozen=True)
+class SectionResult:
+    """One experiment's structured outcome.
+
+    ``name``/``title``/``tags`` echo the registry entry that produced
+    the result, so a results file is self-describing; ``data`` is the
+    JSON-normalised measurement payload and ``markdown`` the rendered
+    report body.
+    """
+
+    name: str
+    title: str
+    data: Any
+    markdown: str
+    tags: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "data", jsonable(self.data))
+        object.__setattr__(self, "tags", tuple(self.tags))
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": RESULT_SCHEMA,
+            "name": self.name,
+            "title": self.title,
+            "tags": list(self.tags),
+            "data": self.data,
+            "markdown": self.markdown,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, document: dict[str, Any]) -> "SectionResult":
+        schema = document.get("schema", RESULT_SCHEMA)
+        if schema != RESULT_SCHEMA:
+            raise ValueError(
+                f"unsupported results schema {schema!r} "
+                f"(this build reads {RESULT_SCHEMA!r})"
+            )
+        return cls(
+            name=document["name"],
+            title=document["title"],
+            data=document["data"],
+            markdown=document["markdown"],
+            tags=tuple(document.get("tags", ())),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SectionResult":
+        return cls.from_dict(json.loads(text))

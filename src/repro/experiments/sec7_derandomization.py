@@ -14,6 +14,9 @@ from repro.analysis.security import (
     simulate_guess_attack,
     simulate_scan_attack,
 )
+from repro.experiments.context import RunContext
+from repro.experiments.registry import experiment, section
+from repro.experiments.results import SectionResult
 from repro.softstack.ctypes_model import LISTING_1_STRUCT_A
 
 PAPER = {
@@ -70,3 +73,18 @@ def render(result: DerandomizationResult) -> str:
         f"{result.simulated_guess_success:.2e}"
     )
     return "\n".join(lines)
+
+
+@experiment(
+    name="sec7",
+    title="Section 7.3 — derandomization",
+    tags=("security",),
+    order=100,
+)
+def run_experiment(ctx: RunContext) -> SectionResult:
+    """The Monte-Carlo seed stays pinned at the module default (0): the
+    section's published numbers are part of the byte-stable report.
+    Callers wanting fresh randomness pass ``ctx.seed_for("sec7")`` to
+    :func:`run` directly."""
+    result = run()
+    return section("sec7", {"paper": PAPER, "result": result}, render(result))

@@ -16,6 +16,9 @@ from repro.baselines.comparison import (
 from repro.core import bitvector as bv
 from repro.core.cform import CformRequest, apply_cform_mask
 from repro.core.exceptions import CformUsageError
+from repro.experiments.context import RunContext
+from repro.experiments.registry import experiment, section
+from repro.experiments.results import SectionResult
 from repro.memory.hierarchy import WESTMERE
 
 #: Paper anchors for Table 2 (the 8B design row).
@@ -110,3 +113,64 @@ def render_tables456() -> str:
     parts.append("Measured attack-detection matrix (extends Table 4):")
     parts.append(render_matrix(detection_matrix(implemented_models())))
     return "\n".join(parts)
+
+
+# -- registry entries --------------------------------------------------------
+#
+# The tables are static with respect to the run context (they exercise
+# CFORM semantics, the structural VLSI model and the comparison matrix,
+# none of which scale with trace length), so each wrapper just pairs the
+# underlying rows with the rendered text.
+
+
+@experiment(
+    name="table1", title="Table 1 — CFORM K-map", tags=("table",), order=30
+)
+def run_table1(ctx: RunContext) -> SectionResult:
+    return section("table1", {"kmap": table1_kmap()}, render_table1())
+
+
+@experiment(
+    name="table2", title="Table 2 — VLSI costs", tags=("table",), order=40
+)
+def run_table2(ctx: RunContext) -> SectionResult:
+    data = {"paper": PAPER_TABLE2, "rows": table2_rows()}
+    return section("table2", data, render_table2())
+
+
+@experiment(
+    name="table3", title="Table 3 — simulated system", tags=("table",), order=50
+)
+def run_table3(ctx: RunContext) -> SectionResult:
+    config = WESTMERE
+    data = {
+        "l1_bytes": config.l1_geometry.size_bytes,
+        "l2_bytes": config.l2_geometry.size_bytes,
+        "l3_bytes": config.l3_geometry.size_bytes,
+        "latencies": {
+            "l1": config.l1_latency,
+            "l2": config.l2_latency,
+            "l3": config.l3_latency,
+            "dram": config.dram_latency,
+        },
+    }
+    return section("table3", data, render_table3())
+
+
+@experiment(
+    name="tables456",
+    title="Tables 4/5/6 — related-work comparison",
+    tags=("table",),
+    order=90,
+)
+def run_tables456(ctx: RunContext) -> SectionResult:
+    data = {"detection_matrix": detection_matrix(implemented_models())}
+    return section("tables456", data, render_tables456())
+
+
+@experiment(
+    name="table7", title="Table 7 — L1 variants", tags=("table",), order=110
+)
+def run_table7(ctx: RunContext) -> SectionResult:
+    data = {"paper": PAPER_TABLE7, "rows": table7_rows()}
+    return section("table7", data, render_table7())

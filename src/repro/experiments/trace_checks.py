@@ -19,6 +19,9 @@ from dataclasses import dataclass, replace
 
 from repro.corpus.store import CorpusStore
 from repro.cpu.pipeline import MemoryEventCounts
+from repro.experiments.context import RunContext
+from repro.experiments.registry import experiment, section
+from repro.experiments.results import SectionResult
 from repro.memory.hierarchy import WESTMERE
 from repro.traces.registry import CORPUS, TraceScenarioSpec
 from repro.traces.replayer import replay_timing
@@ -136,3 +139,22 @@ def render(checks: list[TraceCheck]) -> str:
         "('corpus hit') or had to record ('recorded')."
     )
     return "\n".join(lines)
+
+
+@experiment(
+    name="traces",
+    title="Trace engine — figures from recorded traces",
+    tags=("trace",),
+    needs=("instructions", "corpus"),
+    order=120,
+)
+def run_experiment(ctx: RunContext) -> SectionResult:
+    # A fraction of the figure trace length keeps the recorded files and
+    # this section's runtime small; the invariant is length-independent.
+    checks = run(instructions=ctx.instructions // 4, store=ctx.store)
+    data = {
+        "scenarios": list(CHECK_SCENARIOS),
+        "checks": checks,
+        "all_bit_identical": all(check.bit_identical for check in checks),
+    }
+    return section("traces", data, render(checks))

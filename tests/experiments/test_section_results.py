@@ -1,0 +1,65 @@
+"""SectionResult: JSON normalisation and exact serialisation round-trips."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.results import RESULT_SCHEMA, SectionResult, jsonable
+
+
+@dataclass(frozen=True)
+class _Point:
+    x: int
+    label: str
+
+
+class TestJsonable:
+    def test_dataclasses_become_dicts_at_any_depth(self):
+        value = jsonable({"points": [_Point(1, "a")], "top": _Point(2, "b")})
+        assert value == {
+            "points": [{"x": 1, "label": "a"}],
+            "top": {"x": 2, "label": "b"},
+        }
+
+    def test_int_keys_and_tuples_normalise(self):
+        assert jsonable({1: (2, 3)}) == {"1": [2, 3]}
+
+    def test_sets_become_sorted_lists(self):
+        assert jsonable({"tags": {"b", "a"}}) == {"tags": ["a", "b"]}
+
+    def test_unencodable_values_fail_loudly(self):
+        with pytest.raises(TypeError, match="non-JSON"):
+            jsonable({"handle": object()})
+
+
+class TestRoundTrip:
+    def make(self):
+        return SectionResult(
+            name="fig04",
+            title="Figure 4 — fixed padding sweep",
+            data={"per_size": {1: _Point(3, "one")}, "sizes": (1, 2)},
+            markdown="body text",
+            tags=("figure", "trace"),
+        )
+
+    def test_data_is_normalised_at_construction(self):
+        result = self.make()
+        assert result.data == {
+            "per_size": {"1": {"x": 3, "label": "one"}},
+            "sizes": [1, 2],
+        }
+
+    def test_json_round_trip_is_exact(self):
+        result = self.make()
+        assert SectionResult.from_json(result.to_json()) == result
+
+    def test_dict_round_trip_is_exact(self):
+        result = self.make()
+        assert SectionResult.from_dict(result.to_dict()) == result
+
+    def test_schema_is_stamped_and_checked(self):
+        document = self.make().to_dict()
+        assert document["schema"] == RESULT_SCHEMA
+        document["schema"] = "repro-section-result/v999"
+        with pytest.raises(ValueError, match="unsupported results schema"):
+            SectionResult.from_dict(document)
