@@ -20,8 +20,11 @@ DEMO_DIR_SETUP = set -e; dir="$(TRACE_DEMO_DIR)"; \
 CORPUS_DIR ?= .repro-corpus
 
 .PHONY: test test-slow bench bench-quick bench-smoke bench-profile \
-        experiments experiments-full experiments-smoke \
+        experiments experiments-full experiments-smoke faults-smoke \
         trace-demo trace-demo-mc corpus-demo
+
+#: Scratch directory for the fault-injection matrix (wiped each run).
+FAULTS_DIR ?= .repro-faults
 
 ## Tier-1 verification: the full test + microbenchmark session.
 test:
@@ -59,6 +62,14 @@ experiments-full:
 ## writes EXPERIMENTS.md and the results/*.json artifact set.
 experiments-smoke:
 	$(PY) -m repro run --profile quick --jobs 2
+
+## CI gate: the fault-injection matrix — every fault kind against every
+## consumer (ensure / replay / verify --repair / lock / runner), each
+## cell asserting self-heal back to byte-identical state.  See
+## docs/RELIABILITY.md; the scratch stores land in FAULTS_DIR.
+faults-smoke:
+	$(PY) -m repro faults matrix --root "$(FAULTS_DIR)" \
+		--json "$(FAULTS_DIR)-cases.json"
 
 ## Trace engine end-to-end: record -> info -> shard -> parallel replay.
 ## Runs in a private mktemp dir (removed on exit) unless TRACE_DEMO_DIR

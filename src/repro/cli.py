@@ -7,9 +7,10 @@ Subcommands::
     perf    the perf harness            (= python -m repro.perf ...)
     trace   the trace engine            (= python -m repro.traces ...)
     corpus  the corpus store            (= python -m repro.corpus ...)
+    faults  fault injection             (= python -m repro.reliability ...)
 
-``run`` is implemented here against the experiment registry; the other
-three delegate verbatim to the existing module CLIs, so every flag those
+``run`` is implemented here against the experiment registry; the others
+delegate verbatim to the existing module CLIs, so every flag those
 tools document works unchanged.  Examples::
 
     python -m repro run                        # all sections, quick
@@ -20,6 +21,7 @@ tools document works unchanged.  Examples::
     python -m repro perf --quick
     python -m repro trace list
     python -m repro corpus ls
+    python -m repro faults matrix              # the CI faults-smoke
 """
 
 from __future__ import annotations
@@ -37,7 +39,7 @@ from repro.experiments.registry import (
 )
 from repro.experiments.runner import (
     DEFAULT_RESULTS_DIR,
-    execute,
+    execute_report,
     write_report,
     write_results,
 )
@@ -65,10 +67,18 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         corpus=arguments.corpus,
         no_corpus=arguments.no_corpus,
         jobs=arguments.jobs,
+        faults=arguments.faults,
     )
     experiments = select(arguments.names, arguments.tag or ())
     started = time.time()
-    results = execute(experiments, ctx)
+    # Snapshot the corpus heal ledger so this run reports exactly the
+    # self-heal events it caused (workers append to the same file).
+    heal_cursor = ctx.store.heal_log_size() if ctx.store else 0
+    report = execute_report(experiments, ctx)
+    results = report.outcomes
+    corpus_events = (
+        ctx.store.heal_events(since=heal_cursor) if ctx.store else []
+    )
     # A name/tag selection defaults its artifacts to partial locations
     # (EXPERIMENTS.partial.md, results/partial/) so it never clobbers
     # the canonical all-sections report and results trajectory; an
@@ -84,14 +94,39 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
     )
     write_report(results, output)
     if not arguments.no_results:
-        paths = write_results(results, results_dir, profile=ctx.profile)
+        paths = write_results(
+            results,
+            results_dir,
+            profile=ctx.profile,
+            incidents=report.incidents,
+            corpus_events=corpus_events,
+        )
         print(f"results: {len(paths) - 1} section file(s) in {results_dir}/")
     if ctx.corpus_root is not None:
         print(f"corpus: {ctx.corpus_root}")
+    for event in corpus_events:
+        print(
+            f"corpus self-heal: {event.get('scenario')}: "
+            f"{event.get('reason')}",
+            file=sys.stderr,
+        )
     print(
         f"wrote {output} ({len(results)} section(s)) "
         f"in {time.time() - started:.0f}s"
     )
+    if report.failures:
+        for failure in report.failures:
+            print(
+                f"FAILED {failure.name} ({failure.kind}, "
+                f"{failure.attempts} attempt(s)): {failure.error}",
+                file=sys.stderr,
+            )
+        print(
+            f"{len(report.failures)} of {len(results)} section(s) failed "
+            f"(see {results_dir + '/index.json' if not arguments.no_results else output})",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -103,6 +138,7 @@ _DELEGATED = {
     "perf": "repro.perf.__main__",
     "trace": "repro.traces.__main__",
     "corpus": "repro.corpus.__main__",
+    "faults": "repro.reliability.__main__",
 }
 
 
@@ -171,6 +207,11 @@ def main(argv: list[str] | None = None) -> int:
         help="synthesise every workload live instead of using the corpus",
     )
     run.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="JSON fault plan to inject during the run (testing; see "
+        "python -m repro faults plan)",
+    )
+    run.add_argument(
         "--list", action="store_true",
         help="list registered experiments (name, tags, needs) and exit",
     )
@@ -181,12 +222,20 @@ def main(argv: list[str] | None = None) -> int:
         ("perf", "perf harness (= python -m repro.perf ...)"),
         ("trace", "trace engine (= python -m repro.traces ...)"),
         ("corpus", "corpus store (= python -m repro.corpus ...)"),
+        ("faults", "fault injection (= python -m repro.reliability ...)"),
     ):
         commands.add_parser(name, help=help_text, add_help=False)
 
     arguments = parser.parse_args(argv)
     if arguments.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if arguments.faults:
+        from repro.reliability.faults import FaultPlan
+
+        try:  # fail fast, not as a per-section failure mid-run
+            FaultPlan.from_json(arguments.faults)
+        except Exception as error:
+            parser.error(f"--faults is not a valid fault plan: {error}")
     try:
         return _cmd_run(arguments)
     except UnknownExperimentError as error:

@@ -5,7 +5,9 @@ Subcommands::
     build   [--scenario NAME ...] [--instructions N]
             record any registry mixes missing from the store
     ls      manifest table: scenario, fingerprint, digest, sizes, ratio
-    verify  re-hash every object against its manifest digest
+    verify  re-hash every object against its manifest digest; non-zero
+            exit on problems, ``--repair`` self-heals them (quarantine +
+            re-record from the manifest-stored spec)
     gc      drop unreferenced objects and stale manifest entries
     key     print the registry fingerprint (the CI cache key)
 
@@ -15,6 +17,7 @@ The store root is ``--root``, else ``$REPRO_CORPUS_DIR``, else
     python -m repro.corpus build --instructions 8000
     python -m repro.corpus ls
     python -m repro.corpus verify
+    python -m repro.corpus verify --repair
     python -m repro.corpus gc
     python -m repro.corpus key
 
@@ -95,12 +98,29 @@ def _cmd_ls(arguments: argparse.Namespace) -> int:
 def _cmd_verify(arguments: argparse.Namespace) -> int:
     store = _store(arguments)
     entries = len(store.manifest().entries)
+    if arguments.repair:
+        problems, actions = store.repair()
+        for problem, action in zip(problems, actions):
+            print(f"FAIL {problem}", file=sys.stderr)
+            print(f"HEAL {action}", file=sys.stderr)
+        remaining = store.verify()
+        if remaining:
+            for problem in remaining:
+                print(f"FAIL (unrepaired) {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"ok: {len(problems)} problem(s) healed, "
+            f"{len(store.manifest().entries)} entries verified "
+            f"(quarantine: {store.quarantine_dir})"
+        )
+        return 0
     problems = store.verify()
     if problems:
         for problem in problems:
             print(f"FAIL {problem}", file=sys.stderr)
         print(
-            f"{len(problems)} problem(s) across {entries} entries",
+            f"{len(problems)} problem(s) across {entries} entries "
+            f"(rerun with --repair to self-heal)",
             file=sys.stderr,
         )
         return 1
@@ -148,7 +168,14 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     commands.add_parser("ls", help="list manifest entries")
-    commands.add_parser("verify", help="re-hash objects against the manifest")
+    verify = commands.add_parser(
+        "verify", help="re-hash objects against the manifest"
+    )
+    verify.add_argument(
+        "--repair", action="store_true",
+        help="self-heal: quarantine damaged objects and re-record them "
+        "from their manifest-stored specs",
+    )
     commands.add_parser("gc", help="remove unreferenced objects")
     commands.add_parser(
         "key", help="print the registry fingerprint (CI cache key)"

@@ -51,6 +51,7 @@ from repro.corpus.manifest import (
     manifest_lock,
     save_manifest,
 )
+from repro.traces.format import TraceFormatError, TraceIntegrityError
 
 #: Environment override for the default store root.
 ENV_ROOT = "REPRO_CORPUS_DIR"
@@ -67,6 +68,20 @@ FINGERPRINT_VERSION = 1
 #: younger unreferenced ``.trace`` may be a just-published object whose
 #: builder has not yet written its manifest entry.
 STALE_RECORDING_SECONDS = 3600
+
+#: Subdirectory (under the store root) receiving damaged bytes: bad
+#: objects and corrupt manifests are moved here, never destroyed, so a
+#: failure is diagnosable after the store healed itself.
+QUARANTINE_DIR = "quarantine"
+
+#: Append-only JSONL ledger of self-heal events, inside the quarantine
+#: directory.  Each line: scenario, digest, reason, action.
+HEAL_LOG_NAME = "events.jsonl"
+
+#: Exceptions that mean "the bytes under this consumer are damaged" —
+#: the self-heal triggers.  Everything else (bugs, BaseException) still
+#: propagates.
+DAMAGE_ERRORS = (TraceFormatError, TraceIntegrityError, OSError, ValueError)
 
 
 def spec_fingerprint(
@@ -133,17 +148,37 @@ class CorpusObject:
 
 
 class CorpusStore:
-    """A content-addressed on-disk corpus of recorded traces."""
+    """A content-addressed on-disk corpus of recorded traces.
 
-    def __init__(self, root: str):
+    The store is *self-healing*: every read path (``ensure`` hits,
+    ``run_result`` replays, ``verify --repair``) checks the bytes it is
+    about to trust, and on any damage — digest mismatch, truncation,
+    missing file, unreadable container, corrupt manifest — quarantines
+    the bad bytes under ``<root>/quarantine/``, drops the manifest
+    binding and re-records from the deterministic spec.  The spec, not
+    the stored bytes, is the source of truth; healing therefore always
+    converges on an object byte-identical to an undamaged build.
+    ``verify_reads=False`` opts a handle out of read-time hashing (perf
+    harnesses measuring pure replay).
+    """
+
+    def __init__(self, root: str, verify_reads: bool = True):
         self.root = root
         self.objects_dir = os.path.join(root, "objects")
         self.manifest_path = os.path.join(root, MANIFEST_NAME)
+        self.quarantine_dir = os.path.join(root, QUARANTINE_DIR)
+        self.heal_log_path = os.path.join(self.quarantine_dir, HEAL_LOG_NAME)
+        self.verify_reads = verify_reads
         #: Resolution counters for this store instance (reporting; the
         #: acceptance invariant "second run records nothing" is
-        #: ``built == 0``).
+        #: ``built == 0``).  ``healed`` counts self-heal repairs.
         self.hits = 0
         self.built = 0
+        self.healed = 0
+        #: Digests this handle already re-hashed successfully; a sweep
+        #: replaying one baseline object dozens of times pays the hash
+        #: once (replay-time damage is still caught by ``run_result``).
+        self._verified: set[str] = set()
 
     # -- paths ---------------------------------------------------------------
 
@@ -151,7 +186,27 @@ class CorpusStore:
         return os.path.join(self.objects_dir, digest[:2], f"{digest}.trace")
 
     def manifest(self) -> Manifest:
-        return load_manifest(self.manifest_path)
+        """The manifest — healing a corrupt/unreadable manifest file.
+
+        A manifest that fails to parse is quarantined (every binding is
+        lost, but the object files stay; re-``ensure`` rebuilds bindings
+        by re-recording, converging on the identical objects) rather
+        than wedging every consumer with a ``ValueError``.
+        """
+        try:
+            return load_manifest(self.manifest_path)
+        except ValueError as error:
+            quarantined = self._quarantine_file(
+                self.manifest_path, "manifest.corrupt.json"
+            )
+            self._log_heal(
+                scenario="<manifest>",
+                digest="",
+                reason=str(error),
+                action=f"quarantined manifest to {quarantined}; "
+                "starting empty (bindings rebuild on demand)",
+            )
+            return Manifest()
 
     # -- the core workflow ---------------------------------------------------
 
@@ -160,15 +215,131 @@ class CorpusStore:
         spec: TraceScenarioSpec,
         config: HierarchyConfig = WESTMERE,
     ) -> CorpusObject:
-        """Resolve a spec to a recorded trace, building on first use."""
+        """Resolve a spec to a recorded trace, building on first use.
+
+        A manifest hit is trusted only after the on-disk object
+        re-hashes to the digest the manifest promises (unless
+        ``verify_reads`` is off, where only existence is checked); any
+        damage is quarantined and healed by re-recording.
+        """
         fingerprint = spec_fingerprint(spec, config)
         entry = self.manifest().get(fingerprint)
         if entry is not None:
             path = self.object_path(entry.digest)
-            if os.path.exists(path):
+            problem = self._object_problem(path, entry)
+            if problem is None:
                 self.hits += 1
                 return CorpusObject(path=path, entry=entry, built=False)
+            self._heal(entry, problem)
         return self._build(fingerprint, spec, config)
+
+    # -- self-healing --------------------------------------------------------
+
+    def _object_problem(
+        self, path: str, entry: ManifestEntry, force: bool = False
+    ) -> str | None:
+        """Why this object cannot be trusted, or ``None`` if it can.
+
+        ``force`` re-hashes even when read verification is off or the
+        digest was already verified by this handle (the bulk
+        verify/repair paths always want fresh evidence).
+        """
+        if not os.path.exists(path):
+            return f"object {entry.digest[:12]}… missing ({path})"
+        if not force and (
+            not self.verify_reads or entry.digest in self._verified
+        ):
+            return None
+        try:
+            digest, raw_bytes, _footer = canonical_digest(path)
+        except DAMAGE_ERRORS as error:
+            return f"object {entry.digest[:12]}… unreadable: {error}"
+        if digest != entry.digest:
+            return (
+                f"digest mismatch — manifest {entry.digest[:12]}…, on-disk "
+                f"stream hashes to {digest[:12]}…"
+            )
+        if raw_bytes != entry.raw_bytes:
+            return (
+                f"canonical length {raw_bytes} != manifest {entry.raw_bytes}"
+            )
+        self._verified.add(entry.digest)
+        return None
+
+    def _quarantine_file(self, path: str, name: str) -> str | None:
+        """Move ``path`` into the quarantine dir; returns the new path."""
+        if not os.path.exists(path):
+            return None
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        target = os.path.join(self.quarantine_dir, name)
+        suffix = 0
+        while os.path.exists(target):
+            suffix += 1
+            target = os.path.join(self.quarantine_dir, f"{name}.{suffix}")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None  # deleted under us; nothing left to preserve
+        return target
+
+    def _log_heal(
+        self, scenario: str, digest: str, reason: str, action: str
+    ) -> None:
+        """Append one event to the heal ledger (single atomic write)."""
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        line = json.dumps(
+            {
+                "scenario": scenario,
+                "digest": digest,
+                "reason": reason,
+                "action": action,
+            },
+            sort_keys=True,
+        )
+        with open(self.heal_log_path, "a") as handle:
+            handle.write(line + "\n")
+        self.healed += 1
+
+    def heal_log_size(self) -> int:
+        """Current byte length of the heal ledger (a resumable cursor)."""
+        try:
+            return os.path.getsize(self.heal_log_path)
+        except OSError:
+            return 0
+
+    def heal_events(self, since: int = 0) -> list[dict]:
+        """Heal-ledger events appended after byte offset ``since``."""
+        try:
+            with open(self.heal_log_path) as handle:
+                handle.seek(since)
+                return [
+                    json.loads(line)
+                    for line in handle
+                    if line.strip()
+                ]
+        except OSError:
+            return []
+
+    def _heal(self, entry: ManifestEntry, reason: str) -> None:
+        """Quarantine a damaged object and drop its manifest binding."""
+        path = self.object_path(entry.digest)
+        quarantined = self._quarantine_file(path, f"{entry.digest}.trace")
+        with manifest_lock(self.root):
+            manifest = self.manifest()
+            current = manifest.get(entry.fingerprint)
+            if current is not None and current.digest == entry.digest:
+                manifest.entries.pop(entry.fingerprint)
+                save_manifest(manifest, self.manifest_path)
+        self._log_heal(
+            scenario=entry.scenario,
+            digest=entry.digest,
+            reason=reason,
+            action=(
+                f"quarantined to {quarantined}; entry dropped"
+                if quarantined
+                else "entry dropped (no bytes left to quarantine)"
+            ),
+        )
 
     def _build(
         self,
@@ -210,12 +381,14 @@ class CorpusStore:
             records=records,
             raw_bytes=raw_bytes,
             stored_bytes=stored_bytes,
+            spec=spec.to_dict(),
         )
         with manifest_lock(self.root):
             manifest = self.manifest()  # re-read under the lock: merge
             manifest.put(entry)
             save_manifest(manifest, self.manifest_path)
         self.built += 1
+        self._verified.add(digest)  # we hashed exactly what we stored
         return CorpusObject(path=path, entry=entry, built=True)
 
     # -- replay-side consumers ----------------------------------------------
@@ -225,8 +398,24 @@ class CorpusStore:
         spec: TraceScenarioSpec,
         config: HierarchyConfig = WESTMERE,
     ) -> RunResult:
-        """The spec's live statistics, from the corpus (replay-verified)."""
-        return replay_timing(self.ensure(spec, config).path)
+        """The spec's live statistics, from the corpus (replay-verified).
+
+        Damage surfacing only at replay time — an object deleted or
+        truncated after ``ensure`` verified it, or stats contradicting
+        the footer — heals the same way the ensure path does: the bad
+        bytes are quarantined, the binding dropped, the spec re-recorded
+        and replayed once more.  A second failure propagates (the
+        problem is then not the bytes).
+        """
+        resolved = self.ensure(spec, config)
+        try:
+            return replay_timing(resolved.path)
+        except DAMAGE_ERRORS as error:
+            self._verified.discard(resolved.entry.digest)
+            self._heal(resolved.entry, f"replay failed: {error}")
+            fingerprint = spec_fingerprint(spec, config)
+            rebuilt = self._build(fingerprint, spec, config)
+            return replay_timing(rebuilt.path)
 
     def slowdown(
         self,
@@ -272,34 +461,71 @@ class CorpusStore:
     def verify(self) -> list[str]:
         """Re-hash every referenced object; returns problem descriptions."""
         problems: list[str] = []
-        for fingerprint, entry in sorted(self.manifest().entries.items()):
-            path = self.object_path(entry.digest)
-            if not os.path.exists(path):
-                problems.append(
-                    f"{entry.scenario}: object {entry.digest[:12]}… missing "
-                    f"({path})"
-                )
-                continue
-            try:
-                digest, raw_bytes, _footer = canonical_digest(path)
-            except Exception as error:  # corrupt container
-                problems.append(
-                    f"{entry.scenario}: object {entry.digest[:12]}… "
-                    f"unreadable: {error}"
-                )
-                continue
-            if digest != entry.digest:
-                problems.append(
-                    f"{entry.scenario}: digest mismatch — manifest "
-                    f"{entry.digest[:12]}…, on-disk stream hashes to "
-                    f"{digest[:12]}…"
-                )
-            elif raw_bytes != entry.raw_bytes:
-                problems.append(
-                    f"{entry.scenario}: canonical length {raw_bytes} != "
-                    f"manifest {entry.raw_bytes}"
-                )
+        for _fingerprint, entry in sorted(self.manifest().entries.items()):
+            problem = self._object_problem(
+                self.object_path(entry.digest), entry, force=True
+            )
+            if problem is not None:
+                problems.append(f"{entry.scenario}: {problem}")
         return problems
+
+    def _entry_spec(self, entry: ManifestEntry) -> TraceScenarioSpec | None:
+        """The recorded spec document, decoded — or ``None`` if absent
+        or itself damaged (old manifests, injected orphans)."""
+        if not entry.spec:
+            return None
+        try:
+            return TraceScenarioSpec.from_dict(entry.spec)
+        except Exception:
+            return None
+
+    def repair(
+        self, config: HierarchyConfig = WESTMERE
+    ) -> tuple[list[str], list[str]]:
+        """Bulk self-heal: every damaged entry is quarantined and, when
+        its manifest-recorded spec still fingerprints to the entry,
+        re-recorded; unrecoverable entries (no spec, foreign geometry)
+        are dropped with a diagnostic.  Returns ``(problems, actions)``
+        — one action per problem.
+        """
+        problems: list[str] = []
+        actions: list[str] = []
+        for fingerprint, entry in sorted(self.manifest().entries.items()):
+            problem = self._object_problem(
+                self.object_path(entry.digest), entry, force=True
+            )
+            if problem is None:
+                continue
+            problems.append(f"{entry.scenario}: {problem}")
+            self._verified.discard(entry.digest)
+            self._heal(entry, problem)
+            spec = self._entry_spec(entry)
+            if spec is None:
+                actions.append(
+                    f"{entry.scenario}: entry dropped (no recorded spec — "
+                    f"unrecoverable; re-record from the registry)"
+                )
+                continue
+            if spec_fingerprint(spec, config) != fingerprint:
+                actions.append(
+                    f"{entry.scenario}: entry dropped (spec fingerprints "
+                    f"differently under this geometry — re-ensure with the "
+                    f"recording config)"
+                )
+                continue
+            rebuilt = self._build(fingerprint, spec, config)
+            if rebuilt.entry.digest == entry.digest:
+                actions.append(
+                    f"{entry.scenario}: re-recorded, digest "
+                    f"{entry.digest[:12]}… restored byte-identically"
+                )
+            else:
+                actions.append(
+                    f"{entry.scenario}: re-recorded as "
+                    f"{rebuilt.entry.digest[:12]}… (the manifest digest "
+                    f"itself was damaged)"
+                )
+        return problems, actions
 
     def gc(self) -> list[str]:
         """Remove unreferenced object files and stale manifest entries."""

@@ -45,6 +45,10 @@ class RunContext:
     corpus_root: str | None = None
     jobs: int = 1
     rng_seed: int = 0
+    #: JSON-serialised :class:`repro.reliability.faults.FaultPlan` (or
+    #: ``None``).  A string so the frozen context stays trivially
+    #: picklable into workers; the runner merges it with $REPRO_FAULTS.
+    faults: str | None = None
 
     @classmethod
     def create(
@@ -57,6 +61,7 @@ class RunContext:
         instructions: int | None = None,
         seeds: tuple[int, ...] | None = None,
         rng_seed: int = 0,
+        faults=None,
     ) -> "RunContext":
         """Build a context from CLI-level knobs.
 
@@ -82,6 +87,8 @@ class RunContext:
             corpus_root = default_store().root
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if faults is not None and not isinstance(faults, str):
+            faults = faults.to_json()  # a FaultPlan (or plan-shaped) value
         return cls(
             profile=profile,
             instructions=(
@@ -91,6 +98,7 @@ class RunContext:
             corpus_root=corpus_root,
             jobs=jobs,
             rng_seed=rng_seed,
+            faults=faults,
         )
 
     # -- corpus --------------------------------------------------------------

@@ -25,6 +25,9 @@ from typing import Any
 #: Schema tag written into every results JSON document.
 RESULT_SCHEMA = "repro-section-result/v1"
 
+#: Schema tag of a failed section's JSON document.
+FAILURE_SCHEMA = "repro-section-failure/v1"
+
 
 def jsonable(value: Any) -> Any:
     """Normalise ``value`` into the plain JSON object model.
@@ -101,3 +104,79 @@ class SectionResult:
     @classmethod
     def from_json(cls, text: str) -> "SectionResult":
         return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class SectionFailure:
+    """One experiment section that did not produce a result.
+
+    The fault-tolerant runner records *why* instead of aborting the
+    whole run: ``kind`` classifies the failure (``"exception"`` — the
+    section's own code raised; ``"worker-crash"`` — the worker process
+    died without unwinding; ``"infrastructure"`` — an environment
+    error such as a lock timeout or I/O failure that survived the
+    bounded retry), ``attempts`` counts how many times the section was
+    tried, and ``error``/``traceback`` carry the evidence.  The shape
+    mirrors :class:`SectionResult` (``name``/``title``/``tags``/
+    ``markdown``/``to_dict``) so report assembly and the results writer
+    handle both uniformly.
+    """
+
+    name: str
+    title: str
+    error: str
+    kind: str = "exception"
+    attempts: int = 1
+    traceback: str = ""
+    tags: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tags", tuple(self.tags))
+
+    @property
+    def markdown(self) -> str:
+        """The failed section's report body (rendered in EXPERIMENTS.md)."""
+        body = (
+            f"SECTION FAILED ({self.kind}, {self.attempts} attempt(s))\n\n"
+            f"{self.error}"
+        )
+        if self.traceback:
+            body += f"\n\n{self.traceback.rstrip()}"
+        return body
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": FAILURE_SCHEMA,
+            "name": self.name,
+            "title": self.title,
+            "tags": list(self.tags),
+            "error": self.error,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "traceback": self.traceback,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, document: dict[str, Any]) -> "SectionFailure":
+        schema = document.get("schema", FAILURE_SCHEMA)
+        if schema != FAILURE_SCHEMA:
+            raise ValueError(
+                f"unsupported failure schema {schema!r} "
+                f"(this build reads {FAILURE_SCHEMA!r})"
+            )
+        return cls(
+            name=document["name"],
+            title=document["title"],
+            error=document["error"],
+            kind=document.get("kind", "exception"),
+            attempts=document.get("attempts", 1),
+            traceback=document.get("traceback", ""),
+            tags=tuple(document.get("tags", ())),
+        )
+
+
+#: Either outcome of one section run.
+SectionOutcome = SectionResult | SectionFailure

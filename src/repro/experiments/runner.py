@@ -32,15 +32,35 @@ import json
 import os
 import sys
 import time
+import traceback as traceback_module
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
+from repro.corpus.manifest import ManifestLockTimeout
 from repro.experiments.context import RunContext
 from repro.experiments.registry import Experiment, select
-from repro.experiments.results import SectionResult
+from repro.experiments.results import (
+    SectionFailure,
+    SectionOutcome,
+    SectionResult,
+)
+from repro.reliability.faults import trip_section_fault
 
 #: Default directory for the per-section JSON results.
 DEFAULT_RESULTS_DIR = "results"
+
+#: Total tries per section: one run plus one bounded retry, granted
+#: only to infrastructure-class failures (a worker crash, a lock
+#: timeout, an I/O error).  A section whose own code raises is
+#: deterministic — retrying it would just fail again.
+MAX_ATTEMPTS = 2
+
+#: Failure classes that earn the retry.  ``BrokenProcessPool`` is the
+#: killed/OOMed worker; ``ManifestLockTimeout`` and ``OSError`` are the
+#: environment misbehaving underneath a correct section.
+INFRASTRUCTURE_ERRORS = (OSError, ManifestLockTimeout, BrokenProcessPool)
 
 
 def _run_by_name(task: tuple[str, RunContext]) -> SectionResult:
@@ -48,23 +68,159 @@ def _run_by_name(task: tuple[str, RunContext]) -> SectionResult:
     name, ctx = task
     from repro.experiments.registry import get
 
+    trip_section_fault(name, ctx.faults)
     return get(name).run(ctx)
+
+
+@dataclass
+class RunReport:
+    """Everything one :func:`execute_report` invocation observed.
+
+    ``outcomes`` holds one entry per selected experiment in report
+    order — a :class:`SectionResult` or, for sections that exhausted
+    their attempts, a :class:`SectionFailure`.  ``incidents`` is the
+    attempt ledger: every failed attempt, including the ones a retry
+    later recovered (so a run that *looks* clean but needed a retry is
+    still diagnosable from ``results/index.json``).
+    """
+
+    outcomes: list[SectionOutcome] = field(default_factory=list)
+    incidents: list[dict] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[SectionFailure]:
+        return [o for o in self.outcomes if isinstance(o, SectionFailure)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _classify(error: BaseException) -> tuple[str, bool]:
+    """(failure kind, earns-a-retry) for one caught section error."""
+    if isinstance(error, BrokenProcessPool):
+        return "worker-crash", True
+    if isinstance(error, INFRASTRUCTURE_ERRORS):
+        return "infrastructure", True
+    return "exception", False
+
+
+def _format_error(error: BaseException) -> tuple[str, str]:
+    """(one-line message, full traceback) for a section failure record."""
+    message = f"{type(error).__name__}: {error}"
+    trace = "".join(
+        traceback_module.format_exception(
+            type(error), error, error.__traceback__
+        )
+    )
+    return message, trace
+
+
+def _attempt_round(
+    pending: list[Experiment], ctx: RunContext
+) -> tuple[dict[str, SectionResult], dict[str, BaseException]]:
+    """Try every pending section once; returns (results, errors) by name.
+
+    With ``jobs > 1`` the sections fan out over a fresh process pool —
+    fresh so that a pool broken by a crashed worker in an earlier round
+    cannot poison this one.  A broken pool surfaces as a
+    ``BrokenProcessPool`` on every section that did not complete; the
+    caller's retry loop re-runs those, so one killed worker costs one
+    bounded re-execution, not the run.
+    """
+    results: dict[str, SectionResult] = {}
+    errors: dict[str, BaseException] = {}
+    if ctx.jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=ctx.jobs) as pool:
+            futures = {
+                experiment.name: pool.submit(
+                    _run_by_name, (experiment.name, ctx)
+                )
+                for experiment in pending
+            }
+            for name, future in futures.items():
+                try:
+                    results[name] = future.result()
+                except Exception as error:
+                    errors[name] = error
+        return results, errors
+    for experiment in pending:
+        try:
+            trip_section_fault(experiment.name, ctx.faults)
+            results[experiment.name] = experiment.run(ctx)
+        except Exception as error:
+            errors[experiment.name] = error
+    return results, errors
+
+
+def execute_report(
+    experiments: list[Experiment], ctx: RunContext
+) -> RunReport:
+    """Run the selected experiments with per-section fault isolation.
+
+    A section that raises — or whose worker process dies — becomes a
+    structured :class:`SectionFailure` instead of aborting the run;
+    infrastructure-class failures get one bounded retry first.  Report
+    order is preserved regardless of which sections failed or retried.
+    """
+    by_name = {experiment.name: experiment for experiment in experiments}
+    attempts = {name: 0 for name in by_name}
+    outcomes: dict[str, SectionOutcome] = {}
+    incidents: list[dict] = []
+    pending = list(experiments)
+    while pending:
+        results, errors = _attempt_round(pending, ctx)
+        retry: list[Experiment] = []
+        for experiment in pending:
+            name = experiment.name
+            attempts[name] += 1
+            if name in results:
+                outcomes[name] = results[name]
+                continue
+            error = errors[name]
+            kind, retryable = _classify(error)
+            message, trace = _format_error(error)
+            will_retry = retryable and attempts[name] < MAX_ATTEMPTS
+            incidents.append(
+                {
+                    "section": name,
+                    "kind": kind,
+                    "error": message,
+                    "attempt": attempts[name],
+                    "retried": will_retry,
+                }
+            )
+            if will_retry:
+                retry.append(experiment)
+                continue
+            outcomes[name] = SectionFailure(
+                name=name,
+                title=experiment.title,
+                error=message,
+                kind=kind,
+                attempts=attempts[name],
+                traceback=trace,
+                tags=tuple(sorted(experiment.tags)),
+            )
+        pending = retry
+    return RunReport(
+        outcomes=[outcomes[experiment.name] for experiment in experiments],
+        incidents=incidents,
+    )
 
 
 def execute(
     experiments: list[Experiment], ctx: RunContext
-) -> list[SectionResult]:
+) -> list[SectionOutcome]:
     """Run the selected experiments, preserving report order.
 
     ``ctx.jobs > 1`` fans the independent experiments out over worker
     processes.  The corpus store's manifest updates are lock-serialised,
-    so parallel sections building overlapping corpora are safe.
+    so parallel sections building overlapping corpora are safe.  Failed
+    sections come back as :class:`SectionFailure` values (see
+    :func:`execute_report` for the incident ledger).
     """
-    tasks = [(experiment.name, ctx) for experiment in experiments]
-    if ctx.jobs > 1:
-        with ProcessPoolExecutor(max_workers=ctx.jobs) as pool:
-            return list(pool.map(_run_by_name, tasks))
-    return [_run_by_name(task) for task in tasks]
+    return execute_report(experiments, ctx).outcomes
 
 
 _PREAMBLE = """# EXPERIMENTS — paper vs. measured
@@ -116,15 +272,21 @@ def write_report(results: list[SectionResult], path: str) -> None:
 
 
 def write_results(
-    results: list[SectionResult],
+    results: list[SectionOutcome],
     directory: str = DEFAULT_RESULTS_DIR,
     profile: str = "quick",
+    incidents: list[dict] | None = None,
+    corpus_events: list[dict] | None = None,
 ) -> list[str]:
     """Persist one ``<name>.json`` per section plus an ``index.json``.
 
     The documents are deterministic (no timestamps), so two identical
     runs produce byte-identical files — the property future regression
-    gating relies on.
+    gating relies on.  Failed sections write a failure document
+    (``repro-section-failure/v1``); the index records every section's
+    status plus the run's attempt ledger (``incidents``) and any corpus
+    self-heal events (``corpus_events``), so one file answers "did this
+    run see any fault?" — all three are empty lists on a clean run.
     """
     os.makedirs(directory, exist_ok=True)
     paths: list[str] = []
@@ -137,10 +299,28 @@ def write_results(
     index = {
         "profile": profile,
         "sections": [
-            {"name": result.name, "title": result.title,
-             "tags": list(result.tags)}
+            {
+                "name": result.name,
+                "title": result.title,
+                "tags": list(result.tags),
+                "status": (
+                    "failed" if isinstance(result, SectionFailure) else "ok"
+                ),
+            }
             for result in results
         ],
+        "failures": [
+            {
+                "name": result.name,
+                "kind": result.kind,
+                "error": result.error,
+                "attempts": result.attempts,
+            }
+            for result in results
+            if isinstance(result, SectionFailure)
+        ],
+        "incidents": list(incidents or ()),
+        "corpus_events": list(corpus_events or ()),
     }
     index_path = os.path.join(directory, "index.json")
     with open(index_path, "w") as handle:
@@ -205,12 +385,18 @@ def main(argv: list[str] | None = None) -> int:
         jobs=max(1, arguments.jobs),
     )
     started = time.time()
-    results = execute(select(), ctx)
-    write_report(results, arguments.output)
+    report = execute_report(select(), ctx)
+    write_report(report.outcomes, arguments.output)
     if ctx.corpus_root is not None:
         print(f"corpus: {ctx.corpus_root}")
     print(f"wrote {arguments.output} in {time.time() - started:.0f}s")
-    return 0
+    for failure in report.failures:
+        print(
+            f"FAILED {failure.name} ({failure.kind}, "
+            f"{failure.attempts} attempt(s)): {failure.error}",
+            file=sys.stderr,
+        )
+    return 1 if report.failures else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,54 @@
+"""Reliability: deterministic fault injection and self-healing checks.
+
+Real storage/serving stacks earn trust by surviving injected faults;
+this package gives the reproduction the same discipline.  It has three
+parts:
+
+* :mod:`repro.reliability.faults` — a seeded, declarative
+  :class:`~repro.reliability.faults.FaultPlan` that can bit-flip,
+  truncate or delete corpus objects, corrupt or orphan manifest
+  entries, hold the manifest lock, and fail or kill an experiment
+  worker on a chosen section.  Plans activate through the
+  ``REPRO_FAULTS`` environment variable or a
+  :class:`~repro.experiments.context.RunContext`, so tests, CI and the
+  ``python -m repro faults`` CLI all drive the same machinery.
+* the **self-healing corpus** — :class:`repro.corpus.CorpusStore`
+  verifies every object read against its manifest digest and, on any
+  damage, quarantines the bad bytes under ``<root>/quarantine/``,
+  drops the manifest entry and transparently re-records from the
+  deterministic spec (see ``docs/RELIABILITY.md``).
+* the **fault-tolerant runner** — a crashed or raising experiment
+  section becomes a structured
+  :class:`~repro.experiments.results.SectionFailure` (rendered in
+  ``EXPERIMENTS.md``, recorded in ``results/index.json``) instead of
+  aborting the run, with one bounded retry for infrastructure-class
+  failures.
+
+:mod:`repro.reliability.matrix` runs the whole fault × consumer matrix
+end to end (``make faults-smoke``) and asserts byte-identical results
+after every self-heal.
+"""
+
+from repro.reliability.faults import (
+    CORPUS_FAULT_KINDS,
+    ENV_FAULTS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedSectionError,
+    hold_manifest_lock,
+    inject_store_faults,
+    trip_section_fault,
+)
+
+__all__ = [
+    "CORPUS_FAULT_KINDS",
+    "ENV_FAULTS",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedSectionError",
+    "hold_manifest_lock",
+    "inject_store_faults",
+    "trip_section_fault",
+]

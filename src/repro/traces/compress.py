@@ -268,46 +268,78 @@ class CompressedTraceWriter(TraceWriterBase):
 # -- streaming reader side (driven by TraceReader) ----------------------------
 
 
-def _read_exact(file: BinaryIO, size: int, what: str) -> bytes:
+def _read_exact(
+    file: BinaryIO,
+    size: int,
+    what: str,
+    path: str | None = None,
+    offset: int | None = None,
+) -> bytes:
     data = file.read(size)
     if len(data) != size:
-        raise TraceFormatError(f"truncated compressed trace: {what}")
+        raise TraceFormatError(
+            f"truncated compressed trace: {what}", path=path, offset=offset
+        )
     return data
 
 
 def iter_compressed_records(reader: TraceReader) -> Iterator[tuple[int, int, int]]:
     """Record iterator for a :class:`TraceReader` positioned after the
     header of a CALTRC02 file.  Populates ``reader.footer`` when the end
-    frame is reached, mirroring the v1 iterator's contract."""
+    frame is reached, mirroring the v1 iterator's contract.  Errors —
+    including frame-payload corruption detected inside
+    :func:`decode_frame` — are located at the offending frame's byte
+    offset in the reader's file."""
     import json
 
     file = reader._file
+    path = reader.path
+    position = reader.data_offset  # offset of the next frame's type byte
     while True:
+        frame_start = position
         type_byte = file.read(1)
         if not type_byte:
-            raise TraceFormatError(
-                "compressed trace ends without a terminator frame"
+            raise reader.error(
+                "compressed trace ends without a terminator frame",
+                offset=frame_start,
             )
         frame_type = type_byte[0]
         if frame_type == FRAME_RECORDS:
-            head = _read_exact(file, _FRAME_RECORDS_HEAD.size - 1, "frame header")
+            head = _read_exact(
+                file, _FRAME_RECORDS_HEAD.size - 1, "frame header",
+                path=path, offset=frame_start,
+            )
             record_count, payload_length = struct.unpack("<II", head)
-            payload = _read_exact(file, payload_length, "frame payload")
-            yield from decode_frame(payload, record_count)
+            payload = _read_exact(
+                file, payload_length, "frame payload",
+                path=path, offset=frame_start,
+            )
+            position = frame_start + _FRAME_RECORDS_HEAD.size + payload_length
+            try:
+                yield from decode_frame(payload, record_count)
+            except TraceFormatError as error:
+                raise error.located(path, frame_start) from None
         elif frame_type == FRAME_END:
-            head = _read_exact(file, _FRAME_END_HEAD.size - 1, "footer length")
+            head = _read_exact(
+                file, _FRAME_END_HEAD.size - 1, "footer length",
+                path=path, offset=frame_start,
+            )
             (footer_length,) = struct.unpack("<I", head)
-            footer_bytes = _read_exact(file, footer_length, "footer")
+            footer_bytes = _read_exact(
+                file, footer_length, "footer", path=path, offset=frame_start
+            )
             try:
                 reader.footer = json.loads(footer_bytes)
             except ValueError as error:
-                raise TraceFormatError(
-                    f"corrupt trace footer JSON: {error}"
+                raise reader.error(
+                    f"corrupt trace footer JSON: {error}", offset=frame_start
                 ) from None
             return
         else:
-            raise TraceFormatError(
-                f"corrupt compressed trace: unknown frame type 0x{frame_type:02X}"
+            raise reader.error(
+                f"corrupt compressed trace: unknown frame type "
+                f"0x{frame_type:02X}",
+                offset=frame_start,
             )
 
 
@@ -325,26 +357,34 @@ def frame_stats(path: str) -> list[tuple[int, int]]:
             )
         file = reader._file
         frames: list[tuple[int, int]] = []
+        position = reader.data_offset
         while True:
+            frame_start = position
             type_byte = file.read(1)
             if not type_byte:
-                raise TraceFormatError(
-                    "compressed trace ends without a terminator frame"
+                raise reader.error(
+                    "compressed trace ends without a terminator frame",
+                    offset=frame_start,
                 )
             frame_type = type_byte[0]
             if frame_type == FRAME_RECORDS:
                 head = _read_exact(
-                    file, _FRAME_RECORDS_HEAD.size - 1, "frame header"
+                    file, _FRAME_RECORDS_HEAD.size - 1, "frame header",
+                    path=path, offset=frame_start,
                 )
                 record_count, payload_length = struct.unpack("<II", head)
                 file.seek(payload_length, 1)
+                position = (
+                    frame_start + _FRAME_RECORDS_HEAD.size + payload_length
+                )
                 frames.append((record_count, payload_length))
             elif frame_type == FRAME_END:
                 return frames
             else:
-                raise TraceFormatError(
+                raise reader.error(
                     "corrupt compressed trace: unknown frame type "
-                    f"0x{frame_type:02X}"
+                    f"0x{frame_type:02X}",
+                    offset=frame_start,
                 )
 
 

@@ -86,7 +86,41 @@ _HEADER_LEN = struct.Struct("<I")
 
 
 class TraceFormatError(ValueError):
-    """Raised for malformed trace files (bad magic, truncation, ...)."""
+    """Raised for malformed trace files (bad magic, truncation, ...).
+
+    Carries the offending file's ``path`` and the byte ``offset`` where
+    parsing stopped whenever the raiser knows them, so a failure inside
+    a multi-shard or multi-object replay is attributable to one file and
+    one position instead of only a frame/record index.  ``detail`` is
+    the undecorated message (used when re-raising with added context).
+    """
+
+    def __init__(
+        self,
+        detail: str,
+        *,
+        path: str | None = None,
+        offset: int | None = None,
+    ):
+        self.detail = detail
+        self.path = path
+        self.offset = offset
+        message = detail
+        if offset is not None:
+            message = f"{message} (byte offset {offset})"
+        if path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
+
+    def located(
+        self, path: str | None, offset: int | None = None
+    ) -> "TraceFormatError":
+        """This error re-decorated with location context (if missing)."""
+        if self.path is not None:
+            return self
+        return TraceFormatError(
+            self.detail, path=path, offset=self.offset if offset is None else offset
+        )
 
 
 class TraceIntegrityError(ValueError):
@@ -225,9 +259,12 @@ class TraceReader:
         if isinstance(source, str):
             self._file: BinaryIO = open(source, "rb")
             self._owns_file = True
+            self.path: str | None = source
         else:
             self._file = source
             self._owns_file = False
+            name = getattr(source, "name", None)
+            self.path = name if isinstance(name, str) else None
         try:
             magic = self._file.read(len(MAGIC))
             if magic == MAGIC:
@@ -235,37 +272,52 @@ class TraceReader:
             elif magic == _MAGIC_V2:
                 self.version = 2
             elif len(magic) < len(MAGIC):
-                raise TraceFormatError(
+                raise self.error(
                     f"truncated trace: file ends inside the magic "
-                    f"({len(magic)} bytes)"
+                    f"({len(magic)} bytes)",
+                    offset=0,
                 )
             else:
-                raise TraceFormatError(
+                raise self.error(
                     f"not a Califorms trace (magic {magic!r}, wanted "
-                    f"{MAGIC!r} or {_MAGIC_V2!r})"
+                    f"{MAGIC!r} or {_MAGIC_V2!r})",
+                    offset=0,
                 )
             try:
                 (header_len,) = _HEADER_LEN.unpack(
                     self._file.read(_HEADER_LEN.size)
                 )
             except struct.error:
-                raise TraceFormatError("truncated trace header length") from None
+                raise self.error(
+                    "truncated trace header length", offset=len(MAGIC)
+                ) from None
             header_bytes = self._file.read(header_len)
             if len(header_bytes) != header_len:
-                raise TraceFormatError("truncated trace header")
+                raise self.error(
+                    "truncated trace header",
+                    offset=len(MAGIC) + _HEADER_LEN.size,
+                )
             try:
                 self.header: dict = json.loads(header_bytes)
             except ValueError as error:  # bad JSON or bad UTF-8
-                raise TraceFormatError(
-                    f"corrupt trace header JSON: {error}"
+                raise self.error(
+                    f"corrupt trace header JSON: {error}",
+                    offset=len(MAGIC) + _HEADER_LEN.size,
                 ) from None
         except BaseException:
             # Malformed input must not leak the descriptor we opened.
             if self._owns_file:
                 self._file.close()
             raise
+        #: Byte offset of the first record/frame (end of the preamble);
+        #: record iterators count from here so errors are attributable.
+        self.data_offset = len(MAGIC) + _HEADER_LEN.size + header_len
         self.footer: dict | None = None
         self._records_iter: Iterator[tuple[int, int, int]] | None = None
+
+    def error(self, detail: str, offset: int | None = None) -> TraceFormatError:
+        """A :class:`TraceFormatError` located in this reader's file."""
+        return TraceFormatError(detail, path=self.path, offset=offset)
 
     def records(self) -> Iterator[tuple[int, int, int]]:
         """Yield ``(kind, address, arg)`` until the terminator record.
@@ -292,33 +344,41 @@ class TraceReader:
         chunk_bytes = self.CHUNK_RECORDS * RECORD_SIZE
         unpack_from = RECORD.unpack_from
         pending = b""
+        position = self.data_offset  # file offset of the next record
         while True:
             chunk = pending + self._file.read(chunk_bytes)
             if not chunk:
-                raise TraceFormatError("trace ends without a terminator record")
+                raise self.error(
+                    "trace ends without a terminator record", offset=position
+                )
             usable = len(chunk) - (len(chunk) % RECORD_SIZE)
             for offset in range(0, usable, RECORD_SIZE):
                 kind, address, arg = unpack_from(chunk, offset)
                 if kind == EV_END:
                     tail = chunk[offset + RECORD_SIZE :]
-                    self._read_footer_bytes(arg, tail)
+                    self._read_footer_bytes(
+                        arg, tail, position + offset + RECORD_SIZE
+                    )
                     return
                 yield kind, address, arg
             pending = chunk[usable:]
+            position += usable
             if usable == 0:
-                raise TraceFormatError("truncated trace record")
+                raise self.error("truncated trace record", offset=position)
 
-    def _read_footer_bytes(self, length: int, already_read: bytes) -> None:
+    def _read_footer_bytes(
+        self, length: int, already_read: bytes, offset: int | None = None
+    ) -> None:
         footer_bytes = already_read[:length]
         if len(footer_bytes) < length:
             footer_bytes += self._file.read(length - len(footer_bytes))
         if len(footer_bytes) != length:
-            raise TraceFormatError("truncated trace footer")
+            raise self.error("truncated trace footer", offset=offset)
         try:
             self.footer = json.loads(footer_bytes)
         except ValueError as error:  # bad JSON or bad UTF-8
-            raise TraceFormatError(
-                f"corrupt trace footer JSON: {error}"
+            raise self.error(
+                f"corrupt trace footer JSON: {error}", offset=offset
             ) from None
 
     def read_footer(self) -> dict:

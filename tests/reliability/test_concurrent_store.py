@@ -1,0 +1,143 @@
+"""Concurrent corpus access: two processes racing on the same store."""
+
+import glob
+import multiprocessing
+import os
+
+from repro.corpus.store import CorpusStore
+from repro.traces.registry import CORPUS
+
+INSTRUCTIONS = 2_500
+SCENARIOS = sorted(CORPUS)[:2]
+
+
+def _spec(name):
+    return CORPUS[name].scaled(INSTRUCTIONS)
+
+
+def _ensure_in_child(root, name, start, out):
+    """Process entry point: ensure one spec, report (digest, built)."""
+    start.wait()  # maximise overlap between the racing builders
+    resolved = CorpusStore(root).ensure(_spec(name))
+    out.put((name, resolved.entry.digest, resolved.built))
+
+
+def _race(root, names):
+    start = multiprocessing.Event()
+    out = multiprocessing.Queue()
+    workers = [
+        multiprocessing.Process(
+            target=_ensure_in_child, args=(root, name, start, out)
+        )
+        for name in names
+    ]
+    for worker in workers:
+        worker.start()
+    start.set()
+    results = [out.get(timeout=120) for _ in workers]
+    for worker in workers:
+        worker.join()
+        assert worker.exitcode == 0
+    return results
+
+
+class TestConcurrentEnsure:
+    def test_same_spec_from_two_processes_converges(self, tmp_path):
+        root = str(tmp_path / "corpus")
+        name = SCENARIOS[0]
+        results = _race(root, [name, name])
+        digests = {digest for _name, digest, _built in results}
+        assert len(digests) == 1  # deterministic recording converged
+        store = CorpusStore(root)
+        manifest = store.manifest()
+        assert len(manifest.entries) == 1
+        (entry,) = manifest.entries.values()
+        assert entry.digest in digests
+        assert os.path.exists(store.object_path(entry.digest))
+        assert store.verify() == []
+        # No half-written temp recordings survive the race.
+        assert not glob.glob(
+            os.path.join(root, "objects", "**", "*.recording"),
+            recursive=True,
+        )
+
+    def test_different_specs_merge_atomically(self, tmp_path):
+        """Two builders writing different entries must both land: the
+        read-modify-write manifest update is lock-serialised."""
+        root = str(tmp_path / "corpus")
+        results = _race(root, SCENARIOS)
+        assert all(built for _name, _digest, built in results)
+        manifest = CorpusStore(root).manifest()
+        assert sorted(
+            entry.scenario for entry in manifest.entries.values()
+        ) == SCENARIOS
+
+    def test_rerace_after_convergence_is_pure_hits(self, tmp_path):
+        root = str(tmp_path / "corpus")
+        name = SCENARIOS[0]
+        _race(root, [name, name])
+        results = _race(root, [name, name])
+        assert all(not built for _name, _digest, built in results)
+
+
+class TestDeletedMidWalk:
+    def test_object_deleted_between_resolution_and_replay_heals(
+        self, tmp_path
+    ):
+        root = str(tmp_path / "corpus")
+        store = CorpusStore(root)
+        spec = _spec(SCENARIOS[0])
+        resolved = store.ensure(spec)
+        reader = CorpusStore(root)  # separate handle, e.g. another section
+        hit = reader.ensure(spec)  # verified: digest now cached
+        os.remove(hit.path)  # a third party deletes it mid-walk
+        result = reader.run_result(spec)
+        assert result.instructions > 0
+        assert reader.healed == 1
+        assert os.path.exists(resolved.path)  # healed back in place
+        events = reader.heal_events()
+        assert any("missing" in event["reason"] for event in events)
+
+    def test_damage_surfacing_at_replay_time_heals(
+        self, tmp_path, monkeypatch
+    ):
+        """The narrowest window: the object vanishes *after* ensure's
+        verification, so only the replay itself can notice."""
+        import repro.corpus.store as store_module
+
+        root = str(tmp_path / "corpus")
+        store = CorpusStore(root)
+        spec = _spec(SCENARIOS[0])
+        resolved = store.ensure(spec)
+        real_replay = store_module.replay_timing
+        deleted = {"done": False}
+
+        def delete_then_replay(path):
+            if not deleted["done"]:
+                deleted["done"] = True
+                os.remove(path)
+            return real_replay(path)
+
+        monkeypatch.setattr(
+            store_module, "replay_timing", delete_then_replay
+        )
+        result = store.run_result(spec)
+        assert result.instructions > 0
+        assert store.healed == 1
+        assert os.path.exists(resolved.path)
+        events = store.heal_events()
+        assert any(
+            "replay failed" in event["reason"] for event in events
+        )
+
+    def test_heal_is_visible_to_concurrent_handles(self, tmp_path):
+        root = str(tmp_path / "corpus")
+        spec = _spec(SCENARIOS[0])
+        first = CorpusStore(root)
+        digest = first.ensure(spec).entry.digest
+        os.remove(first.object_path(digest))
+        healed = CorpusStore(root).run_result(spec)
+        assert healed.instructions > 0
+        # The first handle's next resolution sees the restored binding.
+        resolved = first.ensure(spec)
+        assert resolved.entry.digest == digest

@@ -1,0 +1,172 @@
+"""Fault-injection layer: plans, budgets, seeded determinism."""
+
+import json
+import os
+
+import pytest
+
+from repro.reliability.faults import (
+    CORPUS_FAULT_KINDS,
+    ENV_FAULTS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedSectionError,
+    InjectedWorkerCrash,
+    MIN_TRUNCATED_BYTES,
+    inject_object_fault,
+    merged_plan,
+    trip_section_fault,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="set-on-fire")
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError, match="count"):
+            FaultSpec(kind="bitflip", count=0)
+
+    def test_every_kind_constructs(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec(kind=kind).kind == kind
+
+    def test_glob_matching(self):
+        spec = FaultSpec(kind="delete", target="fig/*")
+        assert spec.matches("fig/milc/full/b0")
+        assert not spec.matches("server-churn")
+
+    def test_stamp_key_is_stable_and_spec_sensitive(self):
+        spec = FaultSpec(kind="bitflip", seed=3)
+        assert spec.stamp_key() == FaultSpec(kind="bitflip", seed=3).stamp_key()
+        assert spec.stamp_key() != FaultSpec(kind="bitflip", seed=4).stamp_key()
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            (
+                FaultSpec(kind="bitflip", target="fig/*", seed=7),
+                FaultSpec(kind="kill-section", target="table1", count=2),
+            ),
+            stamp_dir=str(tmp_path),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_env_round_trip(self):
+        environ: dict[str, str] = {}
+        plan = FaultPlan((FaultSpec(kind="delete"),))
+        plan.to_env(environ)
+        assert json.loads(environ[ENV_FAULTS])  # valid JSON payload
+        assert FaultPlan.from_env(environ) == plan
+        assert FaultPlan.from_env({}) is None
+
+    def test_claim_budget_via_stamps(self, tmp_path):
+        plan = FaultPlan(
+            (FaultSpec(kind="fail-section", count=2),),
+            stamp_dir=str(tmp_path / "stamps"),
+        )
+        spec = plan.specs[0]
+        assert plan.claim(spec)
+        assert plan.claim(spec)
+        assert not plan.claim(spec)  # budget of 2 is spent
+        # A fresh plan value sharing the stamp dir sees the spent budget.
+        assert not FaultPlan.from_json(plan.to_json()).claim(spec)
+
+    def test_no_stamp_dir_means_unbounded(self):
+        plan = FaultPlan((FaultSpec(kind="fail-section"),))
+        for _ in range(5):
+            assert plan.claim(plan.specs[0])
+
+    def test_merged_plan_concatenates_context_and_env(self, tmp_path):
+        context = FaultPlan(
+            (FaultSpec(kind="fail-section", target="a"),),
+            stamp_dir=str(tmp_path / "ctx"),
+        )
+        environ: dict[str, str] = {}
+        FaultPlan(
+            (FaultSpec(kind="kill-section", target="b"),),
+            stamp_dir=str(tmp_path / "env"),
+        ).to_env(environ)
+        merged = merged_plan(context.to_json(), environ)
+        assert [spec.target for spec in merged.specs] == ["a", "b"]
+        assert merged.stamp_dir == context.stamp_dir  # context wins
+        assert merged_plan(None, {}) is None
+        assert merged_plan(context.to_json(), {}) == context
+
+
+class TestObjectInjection:
+    def _write(self, path, payload=b"x" * 4096):
+        path.write_bytes(payload)
+        return str(path)
+
+    def test_bitflip_is_deterministic_per_digest_and_seed(self, tmp_path):
+        first = self._write(tmp_path / "a.trace")
+        second = self._write(tmp_path / "b.trace")
+        inject_object_fault(first, "deadbeef", "bitflip", seed=5)
+        inject_object_fault(second, "deadbeef", "bitflip", seed=5)
+        assert (
+            (tmp_path / "a.trace").read_bytes()
+            == (tmp_path / "b.trace").read_bytes()
+        )
+        # ... and exactly one byte differs from the pristine payload.
+        damaged = (tmp_path / "a.trace").read_bytes()
+        assert sum(byte != ord("x") for byte in damaged) == 1
+
+    def test_truncate_keeps_a_sniffable_prefix(self, tmp_path):
+        path = self._write(tmp_path / "a.trace")
+        inject_object_fault(path, "deadbeef", "truncate", seed=1)
+        size = os.path.getsize(path)
+        assert MIN_TRUNCATED_BYTES <= size < 4096
+
+    def test_delete_removes_the_object(self, tmp_path):
+        path = self._write(tmp_path / "a.trace")
+        inject_object_fault(path, "deadbeef", "delete", seed=0)
+        assert not os.path.exists(path)
+
+    def test_rejects_manifest_kinds(self, tmp_path):
+        path = self._write(tmp_path / "a.trace")
+        with pytest.raises(ValueError, match="not an object fault"):
+            inject_object_fault(path, "deadbeef", "corrupt-entry", seed=0)
+
+
+class TestSectionFaults:
+    def test_fail_section_raises_injected_error(self):
+        plan = FaultPlan((FaultSpec(kind="fail-section", target="table2"),))
+        with pytest.raises(InjectedSectionError, match="table2"):
+            trip_section_fault("table2", plan.to_json(), environ={})
+
+    def test_kill_section_inline_degrades_to_worker_crash(self):
+        # In the main process a hard exit would kill the run itself, so
+        # the inline form raises the infrastructure-class stand-in.
+        plan = FaultPlan((FaultSpec(kind="kill-section", target="*"),))
+        with pytest.raises(InjectedWorkerCrash):
+            trip_section_fault("table1", plan.to_json(), environ={})
+
+    def test_non_matching_sections_run_clean(self):
+        plan = FaultPlan((FaultSpec(kind="fail-section", target="table2"),))
+        trip_section_fault("table1", plan.to_json(), environ={})
+
+    def test_corpus_kinds_never_trip_sections(self):
+        for kind in CORPUS_FAULT_KINDS:
+            plan = FaultPlan((FaultSpec(kind=kind, target="*"),))
+            trip_section_fault("table1", plan.to_json(), environ={})
+
+    def test_budget_limits_firings(self, tmp_path):
+        plan = FaultPlan(
+            (FaultSpec(kind="fail-section", target="*", count=1),),
+            stamp_dir=str(tmp_path / "stamps"),
+        )
+        with pytest.raises(InjectedSectionError):
+            trip_section_fault("table1", plan.to_json(), environ={})
+        trip_section_fault("table1", plan.to_json(), environ={})  # spent
+
+    def test_env_var_activates_without_context(self, tmp_path):
+        environ: dict[str, str] = {}
+        FaultPlan((FaultSpec(kind="fail-section", target="*"),)).to_env(
+            environ
+        )
+        with pytest.raises(InjectedSectionError):
+            trip_section_fault("anything", None, environ=environ)

@@ -108,7 +108,10 @@ def test_info_on_corrupted_header_fails_clearly(tmp_path, capsys):
         handle.seek(500)  # inside the header JSON
         handle.write(b"\x9a")
     assert main(["info", trace]) == 1
-    assert "error: corrupt trace header" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "corrupt trace header" in err
+    assert trace in err  # the message names the damaged file
+    assert "byte offset" in err  # ... and where the damage sits
 
 
 def test_record_from_spec_file(tmp_path, capsys):

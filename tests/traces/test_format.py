@@ -116,6 +116,38 @@ class TestMalformedFiles:
         with pytest.raises(TraceFormatError, match="footer"):
             list(reader.records())
 
+    def test_path_based_errors_name_file_and_offset(self, tmp_path):
+        """Failures must be attributable to one file and one position —
+        a multi-shard replay's error is useless without them."""
+        path = str(tmp_path / "truncated.trace")
+        _write_sample(path, [(EV_LOAD, 0, 8)] * 10)
+        size = len(open(path, "rb").read())
+        with open(path, "r+b") as handle:
+            handle.truncate(size - (RECORD_SIZE + 20))
+        with pytest.raises(TraceFormatError) as caught:
+            with TraceReader(path) as reader:
+                list(reader.records())
+        assert caught.value.path == path
+        assert caught.value.offset is not None
+        assert path in str(caught.value)
+        assert "byte offset" in str(caught.value)
+
+    def test_bad_magic_reports_offset_zero(self, tmp_path):
+        path = tmp_path / "bogus.trace"
+        path.write_bytes(b"NOTATRACE" * 4)
+        with pytest.raises(TraceFormatError) as caught:
+            TraceReader(str(path))
+        assert caught.value.offset == 0
+        assert str(path) in str(caught.value)
+
+    def test_located_decorates_once(self):
+        bare = TraceFormatError("boom", offset=7)
+        located = bare.located("/a/file.trace")
+        assert located.path == "/a/file.trace"
+        assert located.offset == 7
+        # Already-located errors keep their original attribution.
+        assert located.located("/elsewhere.trace") is located
+
     def test_record_size_is_stable(self):
         # The format spec in BENCHMARKS.md documents 13-byte records.
         assert RECORD_SIZE == 13
