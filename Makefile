@@ -21,7 +21,7 @@ CORPUS_DIR ?= .repro-corpus
 
 .PHONY: test test-slow bench bench-quick bench-smoke bench-profile \
         experiments experiments-full experiments-smoke faults-smoke \
-        trace-demo trace-demo-mc corpus-demo
+        trace-demo trace-demo-mc corpus-demo loadgen-smoke
 
 #: Scratch directory for the fault-injection matrix (wiped each run).
 FAULTS_DIR ?= .repro-faults
@@ -95,6 +95,26 @@ corpus-demo:
 	$(PY) -m repro.corpus --root "$(CORPUS_DIR)" verify
 	$(PY) -m repro.corpus --root "$(CORPUS_DIR)" build --instructions 8000
 	$(PY) -m repro.corpus --root "$(CORPUS_DIR)" gc
+
+#: Output directory for the loadgen-smoke trace artifacts (kept, so CI
+#: can upload them).
+LOADGEN_DIR ?= .repro-loadgen
+
+## Traffic engine end-to-end: list scenarios/sets, compose the smallest
+## synthetic member twice (byte-identical determinism check), then
+## inspect + replay the trace with footer verification.
+loadgen-smoke:
+	set -e; mkdir -p "$(LOADGEN_DIR)"; \
+	$(PY) -m repro loadgen list; \
+	$(PY) -m repro loadgen sets; \
+	$(PY) -m repro loadgen generate uniform-churn \
+		--out "$(LOADGEN_DIR)/uniform-churn.trace"; \
+	$(PY) -m repro loadgen generate uniform-churn \
+		--out "$(LOADGEN_DIR)/uniform-churn-2.trace"; \
+	cmp "$(LOADGEN_DIR)/uniform-churn.trace" \
+		"$(LOADGEN_DIR)/uniform-churn-2.trace"; \
+	$(PY) -m repro.traces info "$(LOADGEN_DIR)/uniform-churn.trace"; \
+	$(PY) -m repro.traces replay "$(LOADGEN_DIR)/uniform-churn.trace"
 
 ## Multi-core trace engine end-to-end: record a pair, replay it against
 ## the shared L3 (2 homogeneous cores, then a named antagonist mix).

@@ -2,12 +2,13 @@
 
 Subcommands::
 
-    run     run registered experiments (by name/tag; default: all) and
-            write EXPERIMENTS.md + results/*.json
+    run     run registered experiments (by name/tag/--set; default: all)
+            and write EXPERIMENTS.md + results/*.json
     perf    the perf harness            (= python -m repro.perf ...)
     trace   the trace engine            (= python -m repro.traces ...)
     corpus  the corpus store            (= python -m repro.corpus ...)
     faults  fault injection             (= python -m repro.reliability ...)
+    loadgen the traffic engine          (= python -m repro.loadgen ...)
 
 ``run`` is implemented here against the experiment registry; the others
 delegate verbatim to the existing module CLIs, so every flag those
@@ -18,10 +19,12 @@ tools document works unchanged.  Examples::
     python -m repro run --tag trace            # everything trace-backed
     python -m repro run --full --jobs 4        # the paper-scale report
     python -m repro run --list                 # what exists
+    python -m repro run --set synthetic        # a loadgen benchmark set
     python -m repro perf --quick
     python -m repro trace list
     python -m repro corpus ls
     python -m repro faults matrix              # the CI faults-smoke
+    python -m repro loadgen list               # committed load scenarios
 """
 
 from __future__ import annotations
@@ -62,14 +65,21 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
     if arguments.list:
         return _cmd_list()
     profile = "full" if arguments.full else arguments.profile
+    sets = tuple(arguments.set or ())
     ctx = RunContext.create(
         profile=profile,
         corpus=arguments.corpus,
         no_corpus=arguments.no_corpus,
         jobs=arguments.jobs,
         faults=arguments.faults,
+        sets=sets,
     )
-    experiments = select(arguments.names, arguments.tag or ())
+    names = list(arguments.names)
+    if sets and "loadgen_contention" not in names:
+        # --set targets the loadgen section; compose with any explicit
+        # name/tag selection rather than replacing it.
+        names.append("loadgen_contention")
+    experiments = select(names, arguments.tag or ())
     started = time.time()
     # Snapshot the corpus heal ledger so this run reports exactly the
     # self-heal events it caused (workers append to the same file).
@@ -79,11 +89,11 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
     corpus_events = (
         ctx.store.heal_events(since=heal_cursor) if ctx.store else []
     )
-    # A name/tag selection defaults its artifacts to partial locations
-    # (EXPERIMENTS.partial.md, results/partial/) so it never clobbers
-    # the canonical all-sections report and results trajectory; an
-    # explicit --output/--results-dir always wins.
-    partial = bool(arguments.names or arguments.tag)
+    # A name/tag/--set selection defaults its artifacts to partial
+    # locations (EXPERIMENTS.partial.md, results/partial/) so it never
+    # clobbers the canonical all-sections report and results trajectory;
+    # an explicit --output/--results-dir always wins.
+    partial = bool(arguments.names or arguments.tag or sets)
     output = arguments.output or (
         "EXPERIMENTS.partial.md" if partial else "EXPERIMENTS.md"
     )
@@ -139,6 +149,7 @@ _DELEGATED = {
     "trace": "repro.traces.__main__",
     "corpus": "repro.corpus.__main__",
     "faults": "repro.reliability.__main__",
+    "loadgen": "repro.loadgen.__main__",
 }
 
 
@@ -169,6 +180,12 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument(
         "--tag", action="append", metavar="TAG",
         help="also select every experiment carrying TAG (repeatable)",
+    )
+    run.add_argument(
+        "--set", action="append", metavar="SET",
+        help="run the loadgen_contention section over this benchmark "
+        "set, scenario or counted alias (repeatable; see python -m "
+        "repro loadgen sets)",
     )
     run.add_argument(
         "--profile", choices=sorted(PROFILES), default="quick",
@@ -223,12 +240,25 @@ def main(argv: list[str] | None = None) -> int:
         ("trace", "trace engine (= python -m repro.traces ...)"),
         ("corpus", "corpus store (= python -m repro.corpus ...)"),
         ("faults", "fault injection (= python -m repro.reliability ...)"),
+        ("loadgen", "traffic engine (= python -m repro.loadgen ...)"),
     ):
         commands.add_parser(name, help=help_text, add_help=False)
 
     arguments = parser.parse_args(argv)
     if arguments.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if arguments.set:
+        from repro.loadgen.sets import load_scenarios, resolve
+
+        try:  # fail fast on unknown sets/scenarios, not mid-run
+            resolve(arguments.set, load_scenarios())
+        except (KeyError, ValueError, OSError) as error:
+            message = (
+                str(error.args[0])
+                if isinstance(error, KeyError) and error.args
+                else str(error)
+            )
+            parser.error(f"--set: {message}")
     if arguments.faults:
         from repro.reliability.faults import FaultPlan
 

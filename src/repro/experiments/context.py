@@ -49,6 +49,11 @@ class RunContext:
     #: ``None``).  A string so the frozen context stays trivially
     #: picklable into workers; the runner merges it with $REPRO_FAULTS.
     faults: str | None = None
+    #: Loadgen benchmark-set selection tokens (``repro run --set ...``);
+    #: the ``loadgen_contention`` section resolves them through
+    #: :func:`repro.loadgen.sets.resolve`.  Empty means that section's
+    #: default set.
+    load_sets: tuple[str, ...] = ()
 
     @classmethod
     def create(
@@ -62,6 +67,7 @@ class RunContext:
         seeds: tuple[int, ...] | None = None,
         rng_seed: int = 0,
         faults=None,
+        sets: tuple[str, ...] = (),
     ) -> "RunContext":
         """Build a context from CLI-level knobs.
 
@@ -99,6 +105,7 @@ class RunContext:
             jobs=jobs,
             rng_seed=rng_seed,
             faults=faults,
+            load_sets=tuple(sets),
         )
 
     # -- corpus --------------------------------------------------------------

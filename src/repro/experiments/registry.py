@@ -46,6 +46,7 @@ EXPERIMENT_MODULES: tuple[str, ...] = (
     "repro.experiments.sec7_derandomization",
     "repro.experiments.trace_checks",
     "repro.experiments.mc_contention",
+    "repro.experiments.loadgen_contention",
 )
 
 

@@ -1,0 +1,23 @@
+"""Open-loop traffic engine: scenarios as data, multi-tenant load.
+
+The package turns workload generation into a data-driven traffic model:
+a :class:`~repro.loadgen.schema.LoadScenario` document (arrival process,
+weighted profile mix, tenant count, duration/warmup, seed) describes a
+server absorbing many independent tenants' heap traffic; the composer
+(:mod:`repro.loadgen.compose`) instantiates one generator stream per
+tenant in a disjoint address namespace and merges them by arrival time
+into one CALTRC02 trace through the standard recorder, so composed
+traffic flows into the corpus store, the replayers and the multi-core
+engine unchanged.  Named benchmark sets (:mod:`repro.loadgen.sets`) and
+the ``python -m repro loadgen`` CLI surface the committed scenario files
+under ``scenarios/``.
+"""
+
+from repro.loadgen.schema import (
+    ArrivalSpec,
+    LoadScenario,
+    MixEntry,
+    load_scenario,
+)
+
+__all__ = ["ArrivalSpec", "LoadScenario", "MixEntry", "load_scenario"]

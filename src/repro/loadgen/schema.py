@@ -1,0 +1,243 @@
+"""The load-scenario document: open-loop traffic as data.
+
+A :class:`LoadScenario` is a versioned, JSON-serialisable description of
+multi-tenant traffic: an arrival process (``poisson`` / ``uniform`` /
+``bursty`` with an aggregate ``lambda_per_s`` rate and a jitter knob), a
+weighted mix of trace-corpus workload profiles, a tenant count, a
+duration with a warmup prefix, and a seed.  Documents round-trip through
+JSON *exactly* — ``from_dict(to_dict(s)) == s`` and
+``to_dict(from_dict(d)) == d`` for every valid document — and validation
+is strict: unknown keys, bad ranges and unknown profile names all raise
+at construction, never at generation time.
+
+Committed scenario files live under ``scenarios/`` at the repository
+root (see :mod:`repro.loadgen.sets`); ``docs/SCENARIOS.md`` documents
+the schema with a commented example.
+
+A scenario's mix may name several workload profiles per trace: the
+composer apportions tenants over the mix weights, so one composed trace
+carries several profiles side by side — the registry's one-profile-per-
+spec shape is unchanged underneath (each tenant stream is still a plain
+single-profile :class:`~repro.traces.registry.TraceScenarioSpec`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+#: Bump when the scenario document gains/renames required keys.
+SCENARIO_VERSION = 1
+
+#: Arrival processes the generators implement (see
+#: :mod:`repro.loadgen.arrivals`).
+ARRIVAL_KINDS = ("poisson", "uniform", "bursty")
+
+
+def _require_keys(document: dict, required: set[str], known: set[str], what: str) -> None:
+    unknown = sorted(set(document) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {what} key(s) {unknown}; known: {sorted(known)}"
+        )
+    missing = sorted(required - set(document))
+    if missing:
+        raise ValueError(f"{what} document missing required key(s) {missing}")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One arrival process: how tenant requests land on the timeline.
+
+    ``lambda_per_s`` is the *aggregate* arrival rate across all tenants
+    (each tenant draws from its own stream at ``lambda_per_s /
+    tenants``).  ``jitter`` is a multiplicative spread in ``[0, 1]``
+    applied to inter-arrival gaps (``gap * (1 + jitter * u)`` with ``u``
+    uniform in ``[-1, 1]``).  ``burst_size`` shapes the ``bursty``
+    process only (arrivals per burst) but is always carried, so the
+    document round-trips exactly.
+    """
+
+    kind: str
+    lambda_per_s: float
+    jitter: float = 0.0
+    burst_size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; "
+                f"expected one of {', '.join(ARRIVAL_KINDS)}"
+            )
+        if not self.lambda_per_s > 0:
+            raise ValueError("lambda_per_s must be positive")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "lambda_per_s": self.lambda_per_s,
+            "jitter": self.jitter,
+            "burst_size": self.burst_size,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "ArrivalSpec":
+        _require_keys(
+            document,
+            required={"kind", "lambda_per_s"},
+            known={"kind", "lambda_per_s", "jitter", "burst_size"},
+            what="arrival",
+        )
+        return cls(**document)
+
+
+@dataclass(frozen=True)
+class MixEntry:
+    """One weighted slice of the tenant population.
+
+    ``profile`` names a trace-corpus scenario
+    (:data:`repro.traces.registry.CORPUS`); ``weight`` is its relative
+    share of the tenants (weights need not sum to anything particular).
+    """
+
+    profile: str
+    weight: float
+
+    def __post_init__(self) -> None:
+        if not self.weight > 0:
+            raise ValueError("mix weight must be positive")
+        # Validate the profile name eagerly against the trace corpus.
+        # Imported lazily: the registry lazily imports this module to
+        # validate loadgen-driver specs.
+        from repro.traces.registry import corpus_spec
+
+        corpus_spec(self.profile)  # raises KeyError naming the corpus
+
+    def to_dict(self) -> dict:
+        return {"profile": self.profile, "weight": self.weight}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "MixEntry":
+        _require_keys(
+            document,
+            required={"profile", "weight"},
+            known={"profile", "weight"},
+            what="mix entry",
+        )
+        return cls(**document)
+
+
+@dataclass(frozen=True)
+class LoadScenario:
+    """One open-loop traffic scenario (see module docstring)."""
+
+    name: str
+    description: str
+    arrival: ArrivalSpec
+    mix: tuple[MixEntry, ...]
+    tenants: int
+    duration_s: float
+    warmup_s: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("load scenario needs a name")
+        if not isinstance(self.mix, tuple):
+            object.__setattr__(self, "mix", tuple(self.mix))
+        if not self.mix:
+            raise ValueError("load scenario needs at least one mix entry")
+        profiles = [entry.profile for entry in self.mix]
+        if len(set(profiles)) != len(profiles):
+            raise ValueError(f"duplicate mix profile(s) in {profiles}")
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        if not self.duration_s > 0:
+            raise ValueError("duration_s must be positive")
+        if not 0.0 <= self.warmup_s < self.duration_s:
+            raise ValueError("warmup_s must be within [0, duration_s)")
+
+    # -- derivation ----------------------------------------------------------
+
+    def scaled(self, factor: float) -> "LoadScenario":
+        """The same traffic shape at a different duration (quick modes).
+
+        Duration and warmup scale together, so the warm fraction of the
+        timeline is preserved.
+        """
+        if not factor > 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            duration_s=self.duration_s * factor,
+            warmup_s=self.warmup_s * factor,
+        )
+
+    def total_weight(self) -> float:
+        return sum(entry.weight for entry in self.mix)
+
+    def describe(self) -> str:
+        mixes = " + ".join(
+            f"{entry.profile}:{entry.weight:g}" for entry in self.mix
+        )
+        return (
+            f"{self.tenants} tenant(s), {self.arrival.kind} arrivals at "
+            f"{self.arrival.lambda_per_s:g}/s over {self.duration_s:g}s "
+            f"({mixes})"
+        )
+
+    # -- JSON round-trip -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario_version": SCENARIO_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "arrival": self.arrival.to_dict(),
+            "mix": [entry.to_dict() for entry in self.mix],
+            "tenants": self.tenants,
+            "duration_s": self.duration_s,
+            "warmup_s": self.warmup_s,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "LoadScenario":
+        document = dict(document)
+        version = document.pop("scenario_version", SCENARIO_VERSION)
+        if version != SCENARIO_VERSION:
+            raise ValueError(
+                f"scenario version {version} not supported "
+                f"(expected {SCENARIO_VERSION})"
+            )
+        _require_keys(
+            document,
+            required={"name", "description", "arrival", "mix", "tenants",
+                      "duration_s"},
+            known={"name", "description", "arrival", "mix", "tenants",
+                   "duration_s", "warmup_s", "seed"},
+            what="load scenario",
+        )
+        arrival = ArrivalSpec.from_dict(document.pop("arrival"))
+        mix = tuple(
+            MixEntry.from_dict(entry) for entry in document.pop("mix")
+        )
+        return cls(arrival=arrival, mix=mix, **document)
+
+    def to_json(self) -> str:
+        """Canonical JSON text (sorted keys — the driver-config form)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LoadScenario":
+        return cls.from_dict(json.loads(text))
+
+
+def load_scenario(path: str) -> LoadScenario:
+    """Load a committed/user-authored JSON scenario document."""
+    with open(path) as handle:
+        return LoadScenario.from_dict(json.load(handle))

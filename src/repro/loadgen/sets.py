@@ -1,0 +1,159 @@
+"""Named benchmark sets over the committed scenario files.
+
+Scenario documents live as JSON files under ``scenarios/`` at the
+repository root (``$REPRO_SCENARIO_DIR`` overrides).  A *benchmark set*
+names a group of them — ``synthetic`` (single-profile arrival-process
+studies), ``realistic`` (mixed-profile server compositions),
+``adversarial`` (quarantine floods and attack tenants) and ``all`` —
+and a selection token resolves SPEC-suite style:
+
+* a set name (``synthetic``) → its members;
+* a scenario name (``uniform-churn``) → that scenario;
+* a counted alias (``4x server-churn`` / ``4*uniform-churn``) →
+  the named load scenario re-tenanted to N, or — when the base names a
+  trace-corpus profile instead — an ad-hoc N-tenant scenario over that
+  single profile.
+
+Duplicates are removed and the resolved list is sorted by name, so a
+selection is a *set*, not a sequence.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.loadgen.schema import ArrivalSpec, LoadScenario, MixEntry
+
+#: Environment override for the scenario directory.
+ENV_SCENARIO_DIR = "REPRO_SCENARIO_DIR"
+
+#: Named benchmark sets: set name -> member scenario names.  Members
+#: must exist as committed files under ``scenarios/``; ``all`` is the
+#: union, derived below.
+BENCHMARK_SETS: dict[str, tuple[str, ...]] = {
+    "synthetic": ("poisson-baseline", "uniform-churn", "burst-storm"),
+    "realistic": ("multi-tenant-server", "cache-antagonists"),
+    "adversarial": ("quarantine-flood", "tenant-attack"),
+}
+BENCHMARK_SETS["all"] = tuple(
+    sorted({name for members in BENCHMARK_SETS.values() for name in members})
+)
+
+#: Aggregate arrival rate per tenant for ad-hoc ``Nx <corpus-profile>``
+#: aliases (the composed scenario's lambda is ``N *`` this).
+ADHOC_LAMBDA_PER_TENANT = 200.0
+
+
+def scenario_dir() -> Path:
+    """The committed scenario directory (or the env override)."""
+    override = os.environ.get(ENV_SCENARIO_DIR)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "scenarios"
+
+
+def load_scenarios(directory: Path | None = None) -> dict[str, LoadScenario]:
+    """name → scenario for every ``*.json`` document in the directory."""
+    directory = scenario_dir() if directory is None else Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"scenario directory {directory} does not exist "
+            f"(set ${ENV_SCENARIO_DIR} or run from the repository root)"
+        )
+    scenarios: dict[str, LoadScenario] = {}
+    for path in sorted(directory.glob("*.json")):
+        scenario = LoadScenario.from_dict(_read_json(path))
+        if scenario.name != path.stem:
+            raise ValueError(
+                f"{path} declares name {scenario.name!r}; scenario files "
+                "must be named <name>.json"
+            )
+        scenarios[scenario.name] = scenario
+    return scenarios
+
+
+def _read_json(path: Path) -> dict:
+    import json
+
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _adhoc_scenario(profile_name: str, tenants: int) -> LoadScenario:
+    """An ``Nx <corpus-profile>`` alias: N tenants of one profile."""
+    from repro.traces.registry import corpus_spec
+
+    base = corpus_spec(profile_name)  # raises KeyError naming the corpus
+    return LoadScenario(
+        name=f"{tenants}x-{profile_name}",
+        description=f"ad-hoc composition: {tenants} x {profile_name}",
+        arrival=ArrivalSpec(
+            kind="poisson",
+            lambda_per_s=ADHOC_LAMBDA_PER_TENANT * tenants,
+        ),
+        mix=(MixEntry(profile=profile_name, weight=1.0),),
+        tenants=tenants,
+        duration_s=1.0,
+        warmup_s=0.2,
+        seed=base.seed,
+    )
+
+
+def resolve(
+    tokens, scenarios: dict[str, LoadScenario] | None = None
+) -> list[LoadScenario]:
+    """Resolve selection tokens to a deduplicated, name-sorted list."""
+    from repro.traces.registry import _COUNT_PREFIX
+
+    if scenarios is None:
+        scenarios = load_scenarios()
+    chosen: dict[str, LoadScenario] = {}
+    for token in tokens:
+        token = token.strip()
+        match = _COUNT_PREFIX.match(token)
+        count, base = (
+            (int(match.group(1)), match.group(2).strip())
+            if match
+            else (None, token)
+        )
+        if count is not None and count <= 0:
+            raise ValueError(f"tenant count in {token!r} must be positive")
+        if count is None and base in BENCHMARK_SETS:
+            for member in BENCHMARK_SETS[base]:
+                chosen[member] = _member(scenarios, base, member)
+        elif base in scenarios:
+            scenario = scenarios[base]
+            if count is not None:
+                from dataclasses import replace
+
+                scenario = replace(
+                    scenario,
+                    name=f"{count}x-{base}",
+                    tenants=count,
+                )
+            chosen[scenario.name] = scenario
+        elif count is not None:
+            scenario = _adhoc_scenario(base, count)  # corpus-profile alias
+            chosen[scenario.name] = scenario
+        else:
+            known_sets = ", ".join(sorted(BENCHMARK_SETS))
+            known_scenarios = ", ".join(sorted(scenarios))
+            raise KeyError(
+                f"unknown benchmark set or scenario {token!r}; sets: "
+                f"{known_sets}; scenarios: {known_scenarios}; or a counted "
+                "alias like '4x server-churn'"
+            )
+    return [chosen[name] for name in sorted(chosen)]
+
+
+def _member(
+    scenarios: dict[str, LoadScenario], set_name: str, member: str
+) -> LoadScenario:
+    try:
+        return scenarios[member]
+    except KeyError:
+        raise KeyError(
+            f"benchmark set {set_name!r} names scenario {member!r}, which "
+            f"has no committed file under {scenario_dir()}"
+        ) from None

@@ -27,6 +27,10 @@ Scenario families:
     compressed frames (delta/run-length tokenisation + zlib), and the
     streaming replay that inflates and de-tokenises frame by frame —
     the corpus store's write and read sides.
+``loadgen_generate``
+    The open-loop traffic engine (``repro.loadgen``): composing a
+    2-tenant scenario's merged arrival stream and recording it as one
+    compressed CALTRC02 trace.
 ``experiment_e2e``
     A small end-to-end slice of the Figure 10 experiment pipeline.
 ``codec_reference``
@@ -308,6 +312,30 @@ def _trace_decompress_replay(quick: bool) -> Workload:
     return replay_once, records
 
 
+def _loadgen_generate(quick: bool) -> Workload:
+    from io import BytesIO
+
+    from repro.loadgen.compose import compose_spec
+    from repro.loadgen.schema import ArrivalSpec, LoadScenario, MixEntry
+    from repro.traces.recorder import record_spec
+
+    load = LoadScenario(
+        name="perf-loadgen",
+        description="perf harness: 2-tenant allocator-stress composition",
+        arrival=ArrivalSpec(kind="poisson", lambda_per_s=300.0),
+        mix=(MixEntry(profile="allocator-stress", weight=1.0),),
+        tenants=2,
+        duration_s=0.25 if quick else 0.5,
+        seed=5,
+    )
+    spec = compose_spec(load)
+
+    def generate_once() -> None:
+        record_spec(spec, BytesIO(), compress=True)
+
+    return generate_once, 1
+
+
 def _experiment_e2e(quick: bool) -> Workload:
     from repro.experiments import fig10_extra_latency
 
@@ -395,6 +423,13 @@ SCENARIOS: dict[str, Scenario] = {
             "trace_decompress_replay",
             "CALTRC02 decode: streaming frame-inflating bit-identical replay",
             _trace_decompress_replay,
+            default_iterations=10,
+            default_warmup=1,
+        ),
+        Scenario(
+            "loadgen_generate",
+            "traffic engine: compose + record a 2-tenant open-loop scenario",
+            _loadgen_generate,
             default_iterations=10,
             default_warmup=1,
         ),

@@ -77,6 +77,13 @@ def _driver_for(spec: TraceScenarioSpec):
         from repro.traces.attack_driver import run_attack_trace
 
         return run_attack_trace
+    if spec.driver == "loadgen":
+        # The composition is defined by the spec's driver_config (the
+        # LoadScenario document), not by the call-site knobs, so the
+        # driver is a per-spec closure.
+        from repro.loadgen.compose import driver_for_spec
+
+        return driver_for_spec(spec)
     raise ValueError(f"unknown trace driver {spec.driver!r}")
 
 

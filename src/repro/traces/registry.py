@@ -36,8 +36,12 @@ SPEC_VERSION = 1
 #: SPEC-like workload engine (:func:`repro.workloads.generator.run_trace`);
 #: ``attacks`` drives the exploit-suite probe patterns of
 #: :mod:`repro.analysis.attacks` through the recorder
-#: (:func:`repro.traces.attack_driver.run_attack_trace`).
-KNOWN_DRIVERS = ("generator", "attacks")
+#: (:func:`repro.traces.attack_driver.run_attack_trace`); ``loadgen``
+#: composes N open-loop tenant streams into one interleaved trace
+#: (:mod:`repro.loadgen.compose`) from the
+#: :class:`~repro.loadgen.schema.LoadScenario` document carried in
+#: ``driver_config``.
+KNOWN_DRIVERS = ("generator", "attacks", "loadgen")
 
 
 def policy_to_str(policy: Policy | tuple[str, int] | None) -> str | None:
@@ -85,6 +89,11 @@ class TraceScenarioSpec:
     epoch_bursts: int = 64
     #: Which live engine produces the event stream (see KNOWN_DRIVERS).
     driver: str = "generator"
+    #: Driver-private configuration document (JSON text, or ``None``).
+    #: The ``loadgen`` driver requires its serialised
+    #: :class:`~repro.loadgen.schema.LoadScenario` here; carried as text
+    #: so the spec stays hashable and trivially JSON-serialisable.
+    driver_config: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -93,6 +102,20 @@ class TraceScenarioSpec:
             raise ValueError(
                 f"unknown driver {self.driver!r}; "
                 f"expected one of {', '.join(KNOWN_DRIVERS)}"
+            )
+        if self.driver == "loadgen":
+            if not self.driver_config:
+                raise ValueError(
+                    "driver 'loadgen' requires a driver_config document"
+                )
+            # Lazy import: loadgen validates mix profile names against
+            # this module's CORPUS.
+            from repro.loadgen.schema import LoadScenario
+
+            LoadScenario.from_json(self.driver_config)  # validates eagerly
+        elif self.driver_config is not None:
+            raise ValueError(
+                f"driver {self.driver!r} takes no driver_config"
             )
         if self.instructions <= 0:
             raise ValueError("instructions must be positive")
@@ -123,6 +146,11 @@ class TraceScenarioSpec:
     def to_dict(self) -> dict:
         document = asdict(self)  # deep: converts the nested profile too
         document["spec_version"] = SPEC_VERSION
+        # Omitted when absent, so pre-loadgen spec documents — and hence
+        # every existing corpus fingerprint and CI cache key — are
+        # byte-identical to what this field's introduction found.
+        if document["driver_config"] is None:
+            del document["driver_config"]
         return document
 
     @classmethod

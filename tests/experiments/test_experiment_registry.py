@@ -33,6 +33,10 @@ LEGACY_SECTIONS = (
     ("table7", "Table 7 — L1 variants"),
     ("traces", "Trace engine — figures from recorded traces"),
     ("multicore", "Multi-core — shared-L3 contention under extra latency"),
+    (
+        "loadgen_contention",
+        "Load generator — multi-tenant contention vs solo tenants",
+    ),
 )
 
 

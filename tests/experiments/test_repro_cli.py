@@ -154,6 +154,48 @@ class TestDelegation:
         assert main(["perf", "--list"]) == 0
         assert "codec_encode" in capsys.readouterr().out
 
+    def test_loadgen_subcommand_delegates(self, capsys):
+        assert main(["loadgen", "list"]) == 0
+        assert "uniform-churn" in capsys.readouterr().out
+
+
+class TestSetSelection:
+    def run_set(self, tmp_path, tag: str) -> dict:
+        output = tmp_path / f"EXPERIMENTS.{tag}.md"
+        results_dir = tmp_path / f"results-{tag}"
+        code = main(
+            [
+                "run", "--set", "uniform-churn",
+                "--corpus", str(tmp_path / "corpus"),
+                "--output", str(output),
+                "--results-dir", str(results_dir),
+            ]
+        )
+        assert code == 0
+        assert "## Load generator" in output.read_text()
+        return json.loads(
+            (results_dir / "loadgen_contention.json").read_text()
+        )
+
+    def test_set_selects_the_loadgen_section(self, tmp_path):
+        document = self.run_set(tmp_path, "first")
+        rows = document["data"]["rows"]
+        assert [row["scenario"] for row in rows] == ["uniform-churn"]
+        assert document["data"]["sets"] == ["uniform-churn"]
+        assert rows[0]["source"] == "recorded"
+
+    def test_second_invocation_is_a_pure_corpus_hit(self, tmp_path):
+        self.run_set(tmp_path, "first")
+        document = self.run_set(tmp_path, "second")
+        rows = document["data"]["rows"]
+        assert all(row["source"] == "corpus hit" for row in rows)
+
+    def test_unknown_set_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--set", "no-such-set", "--no-corpus"])
+        assert excinfo.value.code == 2
+        assert "--set" in capsys.readouterr().err
+
 
 class TestLegacyShims:
     def test_run_all_returns_titles_to_bodies(self, tmp_path):

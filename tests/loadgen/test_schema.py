@@ -1,0 +1,188 @@
+"""LoadScenario documents: validation, exact JSON round-trip, files."""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loadgen.schema import (
+    ARRIVAL_KINDS,
+    SCENARIO_VERSION,
+    ArrivalSpec,
+    LoadScenario,
+    MixEntry,
+    load_scenario,
+)
+
+SCENARIO_DIR = Path(__file__).resolve().parents[2] / "scenarios"
+
+#: Trace-corpus profile names the strategies may draw from.
+PROFILES = ("server-churn", "allocator-stress", "scan-heavy")
+
+
+def make(**overrides) -> LoadScenario:
+    base = dict(
+        name="unit",
+        description="unit-test scenario",
+        arrival=ArrivalSpec(kind="poisson", lambda_per_s=100.0),
+        mix=(MixEntry(profile="server-churn", weight=1.0),),
+        tenants=2,
+        duration_s=1.0,
+        warmup_s=0.25,
+        seed=3,
+    )
+    base.update(overrides)
+    return LoadScenario(**base)
+
+
+class TestValidation:
+    def test_valid_document_constructs(self):
+        scenario = make()
+        assert scenario.total_weight() == 1.0
+        assert "2 tenant(s)" in scenario.describe()
+
+    def test_unknown_arrival_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="arrival kind"):
+            ArrivalSpec(kind="zipf", lambda_per_s=10.0)
+
+    @pytest.mark.parametrize("field,value", [
+        ("lambda_per_s", 0.0),
+        ("lambda_per_s", -5.0),
+        ("jitter", -0.1),
+        ("jitter", 1.5),
+        ("burst_size", 0),
+    ])
+    def test_arrival_ranges_are_enforced(self, field, value):
+        kwargs = dict(kind="poisson", lambda_per_s=10.0)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            ArrivalSpec(**kwargs)
+
+    def test_mix_weight_must_be_positive(self):
+        with pytest.raises(ValueError, match="weight"):
+            MixEntry(profile="server-churn", weight=0.0)
+
+    def test_unknown_profile_is_rejected_eagerly(self):
+        with pytest.raises(KeyError, match="server-churn"):
+            MixEntry(profile="no-such-profile", weight=1.0)
+
+    def test_duplicate_mix_profiles_are_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make(mix=(
+                MixEntry(profile="server-churn", weight=0.5),
+                MixEntry(profile="server-churn", weight=0.5),
+            ))
+
+    def test_empty_mix_is_rejected(self):
+        with pytest.raises(ValueError, match="mix"):
+            make(mix=())
+
+    @pytest.mark.parametrize("field,value", [
+        ("tenants", 0),
+        ("duration_s", 0.0),
+        ("warmup_s", -0.1),
+        ("warmup_s", 1.0),  # == duration_s
+        ("name", ""),
+    ])
+    def test_scenario_ranges_are_enforced(self, field, value):
+        with pytest.raises(ValueError):
+            make(**{field: value})
+
+    def test_scaled_preserves_warm_fraction(self):
+        scenario = make().scaled(0.5)
+        assert scenario.duration_s == 0.5
+        assert scenario.warmup_s == 0.125
+        with pytest.raises(ValueError):
+            make().scaled(0.0)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        scenario = make()
+        assert LoadScenario.from_dict(scenario.to_dict()) == scenario
+        document = scenario.to_dict()
+        assert LoadScenario.from_dict(document).to_dict() == document
+
+    def test_json_round_trip_is_exact(self):
+        scenario = make()
+        assert LoadScenario.from_json(scenario.to_json()) == scenario
+
+    def test_version_is_stamped_and_checked(self):
+        document = make().to_dict()
+        assert document["scenario_version"] == SCENARIO_VERSION
+        document["scenario_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            LoadScenario.from_dict(document)
+
+    def test_unknown_keys_are_rejected(self):
+        document = make().to_dict()
+        document["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            LoadScenario.from_dict(document)
+
+    def test_missing_keys_are_rejected(self):
+        document = make().to_dict()
+        del document["duration_s"]
+        with pytest.raises(ValueError, match="duration_s"):
+            LoadScenario.from_dict(document)
+
+    def test_unknown_arrival_keys_are_rejected(self):
+        document = make().to_dict()
+        document["arrival"]["rate"] = 5
+        with pytest.raises(ValueError, match="rate"):
+            LoadScenario.from_dict(document)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        kind=st.sampled_from(ARRIVAL_KINDS),
+        lam=st.floats(min_value=1.0, max_value=1e4),
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+        burst=st.integers(min_value=1, max_value=32),
+        profiles=st.lists(
+            st.sampled_from(PROFILES), min_size=1, max_size=3, unique=True
+        ),
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=10.0), min_size=3, max_size=3
+        ),
+        tenants=st.integers(min_value=1, max_value=12),
+        duration=st.floats(min_value=0.01, max_value=100.0),
+        warm_fraction=st.floats(min_value=0.0, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_every_valid_document_round_trips_exactly(
+        self, kind, lam, jitter, burst, profiles, weights, tenants,
+        duration, warm_fraction, seed,
+    ):
+        scenario = LoadScenario(
+            name="prop",
+            description="property-generated",
+            arrival=ArrivalSpec(
+                kind=kind, lambda_per_s=lam, jitter=jitter, burst_size=burst
+            ),
+            mix=tuple(
+                MixEntry(profile=profile, weight=weight)
+                for profile, weight in zip(profiles, weights)
+            ),
+            tenants=tenants,
+            duration_s=duration,
+            warmup_s=duration * warm_fraction,
+            seed=seed,
+        )
+        assert LoadScenario.from_json(scenario.to_json()) == scenario
+        assert (
+            json.loads(scenario.to_json())
+            == LoadScenario.from_json(scenario.to_json()).to_dict()
+        )
+
+
+class TestCommittedFiles:
+    def test_every_committed_scenario_loads_and_round_trips(self):
+        paths = sorted(SCENARIO_DIR.glob("*.json"))
+        assert paths, "no committed scenario documents found"
+        for path in paths:
+            scenario = load_scenario(str(path))
+            assert scenario.name == path.stem
+            assert LoadScenario.from_json(scenario.to_json()) == scenario

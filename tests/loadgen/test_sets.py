@@ -1,0 +1,83 @@
+"""Benchmark sets: resolution, counted aliases, file discovery."""
+
+import json
+
+import pytest
+
+from repro.loadgen.schema import LoadScenario
+from repro.loadgen.sets import (
+    BENCHMARK_SETS,
+    load_scenarios,
+    resolve,
+    scenario_dir,
+)
+
+
+class TestDiscovery:
+    def test_committed_directory_is_found(self):
+        scenarios = load_scenarios()
+        assert set(BENCHMARK_SETS["all"]) <= set(scenarios)
+
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO_DIR", str(tmp_path))
+        assert scenario_dir() == tmp_path
+        assert load_scenarios() == {}
+
+    def test_missing_directory_is_an_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="REPRO_SCENARIO_DIR"):
+            load_scenarios(tmp_path / "nope")
+
+    def test_name_must_match_the_file_stem(self, tmp_path):
+        document = load_scenarios()["uniform-churn"].to_dict()
+        (tmp_path / "wrong-name.json").write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="wrong-name"):
+            load_scenarios(tmp_path)
+
+
+class TestResolve:
+    def test_set_name_expands_to_members(self):
+        members = resolve(["synthetic"])
+        assert [m.name for m in members] == sorted(
+            BENCHMARK_SETS["synthetic"]
+        )
+
+    def test_all_is_the_union(self):
+        assert [m.name for m in resolve(["all"])] == list(
+            BENCHMARK_SETS["all"]
+        )
+
+    def test_scenario_name_resolves_to_itself(self):
+        (member,) = resolve(["uniform-churn"])
+        assert member == load_scenarios()["uniform-churn"]
+
+    def test_selection_deduplicates(self):
+        assert [m.name for m in resolve(["synthetic", "uniform-churn"])] == [
+            m.name for m in resolve(["synthetic"])
+        ]
+
+    def test_counted_scenario_alias_retenants(self):
+        (member,) = resolve(["3x uniform-churn"])
+        assert member.name == "3x-uniform-churn"
+        assert member.tenants == 3
+        base = load_scenarios()["uniform-churn"]
+        assert member.arrival == base.arrival
+        assert member.mix == base.mix
+
+    def test_counted_corpus_profile_alias_is_adhoc(self):
+        (member,) = resolve(["4x server-churn"])
+        assert isinstance(member, LoadScenario)
+        assert member.tenants == 4
+        assert member.mix[0].profile == "server-churn"
+        assert member.arrival.lambda_per_s == pytest.approx(800.0)
+
+    def test_zero_count_is_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            resolve(["0x server-churn"])
+
+    def test_unknown_token_names_the_known_universe(self):
+        with pytest.raises(KeyError, match="synthetic"):
+            resolve(["no-such-thing"])
+
+    def test_unknown_counted_profile_propagates(self):
+        with pytest.raises(KeyError):
+            resolve(["4x no-such-profile"])
