@@ -20,6 +20,8 @@ tools document works unchanged.  Examples::
     python -m repro run --full --jobs 4        # the paper-scale report
     python -m repro run --list                 # what exists
     python -m repro run --set synthetic        # a loadgen benchmark set
+    python -m repro run --check                # gate vs results/reference/
+    python -m repro run --update-reference     # reseed the committed refs
     python -m repro perf --quick
     python -m repro trace list
     python -m repro corpus ls
@@ -64,6 +66,10 @@ def _cmd_list() -> int:
 def _cmd_run(arguments: argparse.Namespace) -> int:
     if arguments.list:
         return _cmd_list()
+    if arguments.reference is None:
+        from repro.experiments.check import DEFAULT_REFERENCE_DIR
+
+        arguments.reference = DEFAULT_REFERENCE_DIR
     profile = "full" if arguments.full else arguments.profile
     sets = tuple(arguments.set or ())
     ctx = RunContext.create(
@@ -102,6 +108,11 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         if partial
         else DEFAULT_RESULTS_DIR
     )
+    check_report = None
+    if arguments.check:
+        from repro.experiments.check import check_outcomes
+
+        check_report = check_outcomes(results, arguments.reference)
     write_report(results, output)
     if not arguments.no_results:
         paths = write_results(
@@ -110,8 +121,18 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
             profile=ctx.profile,
             incidents=report.incidents,
             corpus_events=corpus_events,
+            check=check_report.to_index() if check_report else None,
         )
         print(f"results: {len(paths) - 1} section file(s) in {results_dir}/")
+    if arguments.update_reference:
+        from repro.experiments.check import update_reference
+
+        try:
+            written = update_reference(results, arguments.reference)
+        except ValueError as error:
+            print(f"--update-reference: {error}", file=sys.stderr)
+            return 1
+        print(f"reference: {len(written)} file(s) in {arguments.reference}/")
     if ctx.corpus_root is not None:
         print(f"corpus: {ctx.corpus_root}")
     for event in corpus_events:
@@ -124,6 +145,10 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         f"wrote {output} ({len(results)} section(s)) "
         f"in {time.time() - started:.0f}s"
     )
+    if check_report is not None:
+        stream = sys.stdout if check_report.ok else sys.stderr
+        for line in check_report.summary():
+            print(line, file=stream)
     if report.failures:
         for failure in report.failures:
             print(
@@ -136,6 +161,8 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
             f"(see {results_dir + '/index.json' if not arguments.no_results else output})",
             file=sys.stderr,
         )
+        return 1
+    if check_report is not None and not check_report.ok:
         return 1
     return 0
 
@@ -227,6 +254,22 @@ def main(argv: list[str] | None = None) -> int:
         "--faults", default=None, metavar="PLAN",
         help="JSON fault plan to inject during the run (testing; see "
         "python -m repro faults plan)",
+    )
+    run.add_argument(
+        "--check", action="store_true",
+        help="gate this run's section data against the committed "
+        "reference results; any metric drift exits non-zero and is "
+        "summarised in results/index.json",
+    )
+    run.add_argument(
+        "--reference", default=None, metavar="DIR",
+        help="reference results directory for --check/--update-reference "
+        "(default: results/reference/)",
+    )
+    run.add_argument(
+        "--update-reference", action="store_true",
+        help="write this run's section documents into the reference "
+        "directory (refused if any section failed)",
     )
     run.add_argument(
         "--list", action="store_true",

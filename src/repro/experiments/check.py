@@ -1,0 +1,345 @@
+"""Reference-result regression gate: ``python -m repro run --check``.
+
+The experiment runner's per-section JSON documents are deterministic
+(no timestamps, seeded workloads, bit-identical replay statistics), so
+a committed copy of a known-good run is a regression oracle for the
+whole figure pipeline.  This module is the diff gate between the two:
+
+* ``results/reference/<name>.json`` — one committed
+  :class:`~repro.experiments.results.SectionResult` document per
+  section (seeded via ``python -m repro run --update-reference``);
+* ``results/reference/tolerances.json`` — the committed tolerance
+  schema: which keys are run provenance rather than measurements
+  (``ignore_keys``), the default drift budget, and per-metric
+  ``rel_tol``/``abs_tol`` overrides;
+* :func:`check_outcomes` — compares a run's section outcomes against
+  the reference and returns every metric that moved, as structured
+  :class:`Drift` records that ``repro run`` summarises on stderr and
+  embeds under the ``"check"`` key of ``results/index.json``.
+
+Only the ``data`` payload is compared.  ``markdown`` is a rendering of
+the same numbers (and leaks provenance strings like the corpus
+``source`` column), so gating it would double-report every drift.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.experiments.results import (
+    SectionFailure,
+    SectionOutcome,
+    SectionResult,
+)
+
+#: Default committed-reference location (relative to the repo root).
+DEFAULT_REFERENCE_DIR = os.path.join("results", "reference")
+
+#: Name of the committed tolerance schema inside the reference dir.
+TOLERANCES_FILE = "tolerances.json"
+
+#: Schema tag of the tolerance document.
+TOLERANCES_SCHEMA = "repro-check-tolerances/v1"
+
+#: Keys that describe how the run obtained its inputs, not what it
+#: measured: ``source`` flips between "recorded" and "corpus hit"
+#: depending on corpus warmth (see ``trace_checks``/``loadgen_contention``).
+DEFAULT_IGNORE_KEYS = ("source",)
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """The comparison policy for one check run.
+
+    ``metrics`` maps a metric key (the nearest enclosing dict key of a
+    numeric leaf) to ``{"rel_tol": float, "abs_tol": float}``; absent
+    metrics use the defaults.  The committed defaults are zero — the
+    pipeline is deterministic, so any movement is drift — and the
+    schema exists so a future noisy metric can buy a budget explicitly
+    rather than by loosening the whole gate.
+    """
+
+    ignore_keys: frozenset[str] = frozenset(DEFAULT_IGNORE_KEYS)
+    rel_tol: float = 0.0
+    abs_tol: float = 0.0
+    metrics: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def budget(self, metric: str) -> tuple[float, float]:
+        """(rel_tol, abs_tol) for one metric key."""
+        override = self.metrics.get(metric, {})
+        return (
+            float(override.get("rel_tol", self.rel_tol)),
+            float(override.get("abs_tol", self.abs_tol)),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": TOLERANCES_SCHEMA,
+            "ignore_keys": sorted(self.ignore_keys),
+            "default": {"rel_tol": self.rel_tol, "abs_tol": self.abs_tol},
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict[str, Any]) -> "Tolerances":
+        schema = document.get("schema", TOLERANCES_SCHEMA)
+        if schema != TOLERANCES_SCHEMA:
+            raise ValueError(
+                f"unsupported tolerance schema {schema!r} "
+                f"(this build reads {TOLERANCES_SCHEMA!r})"
+            )
+        default = document.get("default", {})
+        return cls(
+            ignore_keys=frozenset(
+                document.get("ignore_keys", DEFAULT_IGNORE_KEYS)
+            ),
+            rel_tol=float(default.get("rel_tol", 0.0)),
+            abs_tol=float(default.get("abs_tol", 0.0)),
+            metrics={
+                str(key): dict(value)
+                for key, value in document.get("metrics", {}).items()
+            },
+        )
+
+    @classmethod
+    def load(cls, reference_dir: str) -> "Tolerances":
+        """The committed schema, or the built-in defaults if absent."""
+        path = os.path.join(reference_dir, TOLERANCES_FILE)
+        if not os.path.exists(path):
+            return cls()
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One gate violation: a metric moved, appeared, or disappeared.
+
+    ``kind`` is ``"changed"`` (value outside its budget), ``"missing"``
+    / ``"added"`` (structure changed), ``"section-failed"`` (the run's
+    section raised instead of measuring), or ``"missing-reference"``
+    (no committed document to compare against).
+    """
+
+    section: str
+    path: str
+    kind: str
+    reference: Any = None
+    measured: Any = None
+
+    def describe(self) -> str:
+        if self.kind == "changed":
+            return (
+                f"{self.section}: {self.path}: "
+                f"{self.reference!r} -> {self.measured!r}"
+            )
+        if self.kind == "missing":
+            return f"{self.section}: {self.path}: missing (was {self.reference!r})"
+        if self.kind == "added":
+            return f"{self.section}: {self.path}: new value {self.measured!r}"
+        if self.kind == "section-failed":
+            return f"{self.section}: section failed: {self.measured}"
+        return f"{self.section}: no reference document (run --update-reference)"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "section": self.section,
+            "path": self.path,
+            "kind": self.kind,
+            "reference": self.reference,
+            "measured": self.measured,
+        }
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """Everything one gate invocation found."""
+
+    reference_dir: str
+    sections: int
+    drifts: tuple[Drift, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifts
+
+    def to_index(self) -> dict[str, Any]:
+        """The ``"check"`` entry embedded into ``results/index.json``."""
+        return {
+            "reference": self.reference_dir,
+            "sections": self.sections,
+            "status": "ok" if self.ok else "drift",
+            "drifts": [drift.to_dict() for drift in self.drifts],
+        }
+
+    def summary(self) -> list[str]:
+        if self.ok:
+            return [
+                f"check: {self.sections} section(s) match "
+                f"{self.reference_dir}/"
+            ]
+        lines = [
+            f"check: {len(self.drifts)} drift(s) vs {self.reference_dir}/"
+        ]
+        lines.extend(f"  {drift.describe()}" for drift in self.drifts)
+        return lines
+
+
+def _within(reference: float, measured: float, budget: tuple[float, float]) -> bool:
+    rel_tol, abs_tol = budget
+    if math.isnan(reference) or math.isnan(measured):
+        return math.isnan(reference) and math.isnan(measured)
+    return abs(measured - reference) <= max(abs_tol, rel_tol * abs(reference))
+
+
+def diff_data(
+    reference: Any,
+    measured: Any,
+    tolerances: Tolerances,
+    section: str,
+    path: str = "data",
+    metric: str = "",
+) -> list[Drift]:
+    """Recursive comparison of two JSON-normalised ``data`` payloads.
+
+    ``metric`` carries the nearest enclosing dict key down to numeric
+    leaves, so the tolerance schema addresses metrics by name no matter
+    how deep the experiment nested them.
+    """
+    drifts: list[Drift] = []
+    if isinstance(reference, dict) and isinstance(measured, dict):
+        for key in reference.keys() | measured.keys():
+            if key in tolerances.ignore_keys:
+                continue
+            child = f"{path}.{key}"
+            if key not in measured:
+                drifts.append(
+                    Drift(section, child, "missing", reference[key], None)
+                )
+            elif key not in reference:
+                drifts.append(
+                    Drift(section, child, "added", None, measured[key])
+                )
+            else:
+                drifts.extend(
+                    diff_data(
+                        reference[key], measured[key], tolerances,
+                        section, child, str(key),
+                    )
+                )
+        return drifts
+    if isinstance(reference, list) and isinstance(measured, list):
+        if len(reference) != len(measured):
+            return [
+                Drift(
+                    section, f"{path}.length", "changed",
+                    len(reference), len(measured),
+                )
+            ]
+        for index, (left, right) in enumerate(zip(reference, measured)):
+            drifts.extend(
+                diff_data(
+                    left, right, tolerances,
+                    section, f"{path}[{index}]", metric,
+                )
+            )
+        return drifts
+    # bool is an int subclass: compare identities before numerics so a
+    # True -> 1 type change cannot slip through a numeric budget.
+    numeric = (
+        isinstance(reference, (int, float)) and not isinstance(reference, bool)
+        and isinstance(measured, (int, float)) and not isinstance(measured, bool)
+    )
+    if numeric:
+        if not _within(
+            float(reference), float(measured), tolerances.budget(metric)
+        ):
+            return [Drift(section, path, "changed", reference, measured)]
+        return []
+    if reference != measured or type(reference) is not type(measured):
+        return [Drift(section, path, "changed", reference, measured)]
+    return []
+
+
+def load_reference(reference_dir: str, name: str) -> SectionResult | None:
+    """The committed reference document for one section, if any."""
+    path = os.path.join(reference_dir, f"{name}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return SectionResult.from_json(handle.read())
+
+
+def check_outcomes(
+    outcomes: list[SectionOutcome],
+    reference_dir: str = DEFAULT_REFERENCE_DIR,
+    tolerances: Tolerances | None = None,
+) -> CheckReport:
+    """Gate a run's outcomes against the committed reference results."""
+    if tolerances is None:
+        tolerances = Tolerances.load(reference_dir)
+    drifts: list[Drift] = []
+    for outcome in outcomes:
+        if isinstance(outcome, SectionFailure):
+            drifts.append(
+                Drift(
+                    outcome.name, "section", "section-failed",
+                    None, outcome.error,
+                )
+            )
+            continue
+        reference = load_reference(reference_dir, outcome.name)
+        if reference is None:
+            drifts.append(
+                Drift(outcome.name, "section", "missing-reference")
+            )
+            continue
+        drifts.extend(
+            diff_data(
+                reference.data, outcome.data, tolerances, outcome.name
+            )
+        )
+    return CheckReport(
+        reference_dir=reference_dir,
+        sections=len(outcomes),
+        drifts=tuple(drifts),
+    )
+
+
+def update_reference(
+    outcomes: list[SectionOutcome],
+    reference_dir: str = DEFAULT_REFERENCE_DIR,
+) -> list[str]:
+    """(Re)write the committed reference from a run's outcomes.
+
+    Failed sections are refused — a reference seeded from a broken run
+    would lock the breakage in.  Writes the tolerance schema alongside
+    if the directory does not carry one yet, so the whole gate is
+    inspectable from ``results/reference/`` alone.
+    """
+    failures = [o for o in outcomes if isinstance(o, SectionFailure)]
+    if failures:
+        names = ", ".join(failure.name for failure in failures)
+        raise ValueError(
+            f"refusing to update the reference from a run with failed "
+            f"section(s): {names}"
+        )
+    os.makedirs(reference_dir, exist_ok=True)
+    paths: list[str] = []
+    for outcome in outcomes:
+        path = os.path.join(reference_dir, f"{outcome.name}.json")
+        with open(path, "w") as handle:
+            handle.write(outcome.to_json())
+            handle.write("\n")
+        paths.append(path)
+    schema_path = os.path.join(reference_dir, TOLERANCES_FILE)
+    if not os.path.exists(schema_path):
+        with open(schema_path, "w") as handle:
+            json.dump(Tolerances().to_dict(), handle, indent=2)
+            handle.write("\n")
+        paths.append(schema_path)
+    return paths

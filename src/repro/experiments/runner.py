@@ -277,16 +277,20 @@ def write_results(
     profile: str = "quick",
     incidents: list[dict] | None = None,
     corpus_events: list[dict] | None = None,
+    check: dict | None = None,
 ) -> list[str]:
     """Persist one ``<name>.json`` per section plus an ``index.json``.
 
     The documents are deterministic (no timestamps), so two identical
-    runs produce byte-identical files — the property future regression
-    gating relies on.  Failed sections write a failure document
-    (``repro-section-failure/v1``); the index records every section's
-    status plus the run's attempt ledger (``incidents``) and any corpus
-    self-heal events (``corpus_events``), so one file answers "did this
-    run see any fault?" — all three are empty lists on a clean run.
+    runs produce byte-identical files — the property the ``--check``
+    regression gate (:mod:`repro.experiments.check`) relies on.  Failed
+    sections write a failure document (``repro-section-failure/v1``);
+    the index records every section's status plus the run's attempt
+    ledger (``incidents``) and any corpus self-heal events
+    (``corpus_events``), so one file answers "did this run see any
+    fault?" — all three are empty lists on a clean run.  When the run
+    was gated, ``check`` embeds the gate's verdict and every drifted
+    metric under the index's ``"check"`` key.
     """
     os.makedirs(directory, exist_ok=True)
     paths: list[str] = []
@@ -322,6 +326,8 @@ def write_results(
         "incidents": list(incidents or ()),
         "corpus_events": list(corpus_events or ()),
     }
+    if check is not None:
+        index["check"] = check
     index_path = os.path.join(directory, "index.json")
     with open(index_path, "w") as handle:
         json.dump(index, handle, indent=2)

@@ -241,6 +241,67 @@ class MemoryHierarchy:
                 )
         return violations
 
+    def replay_columns(
+        self, kinds, addresses, args, cform_offsets=(62, 63)
+    ) -> int:
+        """Replay one decoded record batch (parallel columns) in order.
+
+        The columnar twin of the trace replayer's per-record hierarchy
+        loop: ``kinds``/``addresses``/``args`` are equal-length arrays
+        in stream order using the trace event codes (see
+        :mod:`repro.memory.kernel`).  LOAD/STORE move data through the
+        stack exactly as the equivalent :meth:`replay_trace` ops would
+        (a store writes ``arg`` repeats of its address's low byte);
+        CFORM records caliform ``arg`` consecutive lines, setting the
+        still-clear ``cform_offsets`` bytes of each; every other kind is
+        inert here — the replayer accounts for them.  Returns the number
+        of security-byte violations, counted as :meth:`replay_trace`
+        counts them, and prices every touch through the usual level
+        statistics (:meth:`total_cycles` covers the batch with no extra
+        work).
+        """
+        from repro.core.cform import CformRequest
+        from repro.memory.kernel import KIND_CFORM, KIND_LOAD, KIND_STORE
+
+        l1_load = self.l1.load
+        l1_store = self.l1.store
+        l1_cform = self.l1.cform
+        secmask_of = self.secmask_of
+        line_size = bv.LINE_SIZE
+        offset_mask = line_size - 1
+        violations = 0
+        for kind, address, arg in zip(
+            kinds.tolist(), addresses.tolist(), args.tolist()
+        ):
+            if kind == KIND_LOAD:
+                if 0 < arg and (address & offset_mask) + arg <= line_size:
+                    if l1_load(address, arg)[1] is not None:
+                        violations += 1
+                else:
+                    violations += len(self.load(address, arg)[1])
+            elif kind == KIND_STORE:
+                data = bytes([address & 0xFF]) * arg
+                if 0 < arg <= line_size - (address & offset_mask):
+                    if l1_store(address, data) is not None:
+                        violations += 1
+                else:
+                    violations += len(self.store(address, data))
+            elif kind == KIND_CFORM:
+                for line_index in range(arg):
+                    line_address = (address + line_index * 64) & ~63
+                    # Object churn re-califorms reused lines; CFORM-set
+                    # on an already-set byte is an architectural usage
+                    # error, so only the still-clear offsets are set.
+                    current = secmask_of(line_address)
+                    wanted = [
+                        offset
+                        for offset in cform_offsets
+                        if not (current >> offset) & 1
+                    ]
+                    if wanted:
+                        l1_cform(CformRequest.set_bytes(line_address, wanted))
+        return violations
+
     def load_or_raise(self, address: int, size: int) -> bytes:
         value, records = self.load(address, size)
         if records:

@@ -93,6 +93,54 @@ class SharedL3:
         self.misses[core] = 0
 
 
+class SharedL3Kernel:
+    """Columnar twin of :class:`SharedL3`: merged miss columns in batches.
+
+    Same global tag contents and per-core attribution, but the requests
+    arrive as parallel ``(core, address)`` columns already merged into
+    the recorded interleaving — the
+    :class:`~repro.memory.kernel.LruTagKernel` resolves the whole batch
+    and the boolean miss mask is attributed per core with one bincount.
+    Statistics are bit-identical to presenting the same stream through
+    :meth:`SharedL3.access` one request at a time.
+    """
+
+    __slots__ = ("cache", "accesses", "misses")
+
+    def __init__(self, config: HierarchyConfig, cores: int):
+        from repro.memory.kernel import LruTagKernel, require_numpy
+
+        require_numpy("the columnar multi-core replay engine")
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        self.cache = LruTagKernel(config.l3_geometry)
+        self.accesses = [0] * cores
+        self.misses = [0] * cores
+
+    def replay_columns(self, core_column, address_column) -> None:
+        """Present one merged batch of L2 misses; attribute per core.
+
+        ``core_column`` holds each request's issuing core,
+        ``address_column`` its (stride-disambiguated) address; both are
+        equal-length int64 arrays in merged stream order.
+        """
+        from repro.memory.kernel import require_numpy
+
+        np = require_numpy("the columnar multi-core replay engine")
+        miss_mask = self.cache.access_block(address_column)
+        cores = len(self.accesses)
+        presented = np.bincount(core_column, minlength=cores)
+        missed = np.bincount(core_column[miss_mask], minlength=cores)
+        for core in range(cores):
+            self.accesses[core] += int(presented[core])
+            self.misses[core] += int(missed[core])
+
+    def reset_core(self, core: int) -> None:
+        """Zero one core's attribution; tag contents stay warm."""
+        self.accesses[core] = 0
+        self.misses[core] = 0
+
+
 class MultiCoreHierarchy:
     """``cores`` private L1/L2 ladders in front of one shared L3.
 

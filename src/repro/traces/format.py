@@ -44,7 +44,11 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import BinaryIO, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, BinaryIO, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy
 
 from repro.workloads.generator import (  # noqa: F401  (re-exported)
     EV_ALLOC,
@@ -125,6 +129,27 @@ class TraceFormatError(ValueError):
 
 class TraceIntegrityError(ValueError):
     """Raised when a replay's recomputed statistics contradict the footer."""
+
+
+@dataclass(frozen=True)
+class RecordColumns:
+    """One decoded batch of records as parallel columns.
+
+    The array-native equivalent of a run of ``(kind, address, arg)``
+    tuples: ``kind`` is uint8, ``address`` and ``arg`` are int64 (record
+    addresses are far below 2**63; signed width keeps delta/cumsum
+    arithmetic and Python-int round-trips exact).  Row ``i`` of the three
+    arrays is record ``i`` of the batch, in stream order — a batch holds
+    one CALTRC02 frame or one CALTRC01 read chunk, so iterating batches
+    yields the identical record stream :meth:`TraceReader.records` would.
+    """
+
+    kind: "numpy.ndarray"
+    address: "numpy.ndarray"
+    arg: "numpy.ndarray"
+
+    def __len__(self) -> int:
+        return len(self.kind)
 
 
 class TraceWriterBase:
@@ -365,6 +390,91 @@ class TraceReader:
             position += usable
             if usable == 0:
                 raise self.error("truncated trace record", offset=position)
+
+    #: Records per column batch on the v1 path; larger than the tuple
+    #: iterator's chunk because one numpy batch amortises per-batch cost
+    #: over more records (64 Ki records ≈ 832 KB resident, still bounded).
+    COLUMN_CHUNK_RECORDS = 1 << 16
+
+    #: The v1 record as a structured numpy dtype (packed, little-endian):
+    #: built lazily so importing this module never requires numpy.
+    _COLUMN_DTYPE = None
+
+    def column_batches(self) -> Iterator[RecordColumns]:
+        """Yield the record stream as :class:`RecordColumns` batches.
+
+        The columnar twin of :meth:`records`: the concatenation of the
+        yielded batches is exactly the ``(kind, address, arg)`` stream,
+        and :attr:`footer` is populated once the terminator is reached —
+        but no per-record tuples are ever built.  v2 (CALTRC02) batches
+        are one epoch frame each, decoded straight from the token stream
+        (:func:`repro.traces.compress.iter_compressed_columns`); v1
+        batches are fixed-size read chunks lifted via ``np.frombuffer``.
+
+        Like :meth:`records`, the stream is single-pass; mixing the two
+        iteration styles on one reader is not supported.
+
+        Requires numpy (see
+        :func:`repro.memory.kernel.require_numpy`).
+        """
+        if self._records_iter is not None:
+            raise RuntimeError(
+                "column_batches() cannot resume a reader already being "
+                "iterated with records()"
+            )
+        if self.version == 2:
+            from repro.traces.compress import iter_compressed_columns
+
+            return iter_compressed_columns(self)
+        return self._iter_columns_v1()
+
+    def _iter_columns_v1(self) -> Iterator[RecordColumns]:
+        from repro.memory.kernel import require_numpy
+
+        np = require_numpy("columnar trace decode")
+        if TraceReader._COLUMN_DTYPE is None:
+            TraceReader._COLUMN_DTYPE = np.dtype(
+                [("kind", "u1"), ("address", "<u8"), ("arg", "<u4")]
+            )
+        dtype = TraceReader._COLUMN_DTYPE
+        chunk_bytes = self.COLUMN_CHUNK_RECORDS * RECORD_SIZE
+        pending = b""
+        position = self.data_offset  # file offset of the next record
+        while True:
+            chunk = pending + self._file.read(chunk_bytes)
+            if not chunk:
+                raise self.error(
+                    "trace ends without a terminator record", offset=position
+                )
+            usable = len(chunk) - (len(chunk) % RECORD_SIZE)
+            if usable == 0:
+                raise self.error("truncated trace record", offset=position)
+            rows = np.frombuffer(chunk, dtype=dtype, count=usable // RECORD_SIZE)
+            kinds = rows["kind"]
+            terminators = np.flatnonzero(kinds == EV_END)
+            stop = int(terminators[0]) if terminators.size else len(rows)
+            if stop:
+                batch = rows[:stop]
+                addresses = batch["address"]
+                if bool((addresses >> np.uint64(63)).any()):
+                    raise self.error(
+                        "record address exceeds the columnar engine's "
+                        "int64 range", offset=position,
+                    )
+                yield RecordColumns(
+                    kind=np.ascontiguousarray(batch["kind"]),
+                    address=addresses.astype(np.int64),
+                    arg=batch["arg"].astype(np.int64),
+                )
+            if terminators.size:
+                footer_length = int(rows["arg"][stop])
+                tail = chunk[(stop + 1) * RECORD_SIZE :]
+                self._read_footer_bytes(
+                    footer_length, tail, position + (stop + 1) * RECORD_SIZE
+                )
+                return
+            pending = chunk[usable:]
+            position += usable
 
     def _read_footer_bytes(
         self, length: int, already_read: bytes, offset: int | None = None

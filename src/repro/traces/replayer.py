@@ -54,7 +54,19 @@ from repro.memory.hierarchy import (
     MemoryHierarchy,
     amat_cycles,
 )
-from repro.memory.multicore import PrivateLadder, SharedL3
+from repro.memory.kernel import (
+    HAVE_NUMPY,
+    KIND_ALLOC,
+    KIND_CFORM,
+    KIND_EPOCH,
+    KIND_LOAD,
+    KIND_STORE,
+    KIND_WARM,
+    LadderKernel,
+    expand_touches,
+    require_numpy,
+)
+from repro.memory.multicore import PrivateLadder, SharedL3, SharedL3Kernel
 from repro.traces.format import (
     EV_ALLOC,
     EV_CFORM,
@@ -149,6 +161,72 @@ def _amat_cycles(config: HierarchyConfig, events: MemoryEventCounts) -> int:
     )
 
 
+# -- engine selection ---------------------------------------------------------
+#
+# Every replay entry point runs on one of two engines producing
+# bit-identical statistics:
+#
+#   "columnar"   column_batches() decode + the batched tag kernels of
+#                :mod:`repro.memory.kernel` — the default when numpy is
+#                importable, and the fast path for everything at scale;
+#   "records"    the original record-at-a-time loops below — pure
+#                Python, kept intact both as the numpy-less fallback and
+#                as the oracle the differential tests replay against.
+
+#: The engine names accepted everywhere an ``engine`` parameter appears.
+ENGINES = ("columnar", "records")
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve an engine choice to a concrete engine name.
+
+    ``None`` selects ``"columnar"`` when numpy is importable and
+    ``"records"`` otherwise; an explicit ``"columnar"`` without numpy
+    raises the directed :class:`ImportError` of
+    :func:`repro.memory.kernel.require_numpy`.
+    """
+    if engine is None:
+        return "columnar" if HAVE_NUMPY else "records"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown replay engine {engine!r} (choose 'columnar' or "
+            "'records')"
+        )
+    if engine == "columnar":
+        require_numpy()
+    return engine
+
+
+def _first_unknown_kind(np, kinds):
+    """First out-of-range kind code in a batch, or None.
+
+    The columnar loops hoist the per-record ``unknown record kind``
+    check to one vectorized scan per batch; the raised message matches
+    the per-record engine's.
+    """
+    unknown = np.flatnonzero(kinds > KIND_EPOCH)
+    return int(kinds[unknown[0]]) if unknown.size else None
+
+
+def _warm_segments(np, kinds, honor_warm: bool):
+    """Split one batch into ``(start, stop, warm_position)`` segments.
+
+    With ``honor_warm``, the batch is split at every EV_WARM record so
+    the caller can reset its counters exactly where the per-record loop
+    would; ``warm_position`` is the WARM record's batch index (``None``
+    for the final segment).  Without it the whole batch is one segment —
+    WARM expands to zero touches, so no split is needed.
+    """
+    if honor_warm:
+        start = 0
+        for position in np.flatnonzero(kinds == KIND_WARM).tolist():
+            yield start, position, position
+            start = position + 1
+        yield start, len(kinds), None
+    else:
+        yield 0, len(kinds), None
+
+
 def _replay_timing_stream(reader: TraceReader, honor_warm: bool = True) -> ShardStats:
     """Push one record stream through a cold tag-only ladder.
 
@@ -210,7 +288,67 @@ def _replay_timing_stream(reader: TraceReader, honor_warm: bool = True) -> Shard
     )
 
 
-def replay_timing(source, verify: bool = True, with_footer: bool = False):
+def _replay_timing_columns(
+    reader: TraceReader, honor_warm: bool = True
+) -> ShardStats:
+    """Columnar twin of :func:`_replay_timing_stream`.
+
+    Decodes the trace as :class:`RecordColumns` batches and runs the
+    touch columns through a 3-level :class:`LadderKernel`; the kernel's
+    MRU-collapse argument (see :mod:`repro.memory.kernel`) is what makes
+    the returned statistics bit-identical to the per-record loop's.
+    """
+    np = require_numpy()
+    config = _config_from_header(reader.header)
+    ladder = LadderKernel(config, levels=3)
+    touches = 0
+    cform_lines = 0
+    alloc_events = 0
+    for batch in reader.column_batches():
+        kinds = batch.kind
+        unknown = _first_unknown_kind(np, kinds)
+        if unknown is not None:
+            raise TraceFormatError(f"unknown record kind {unknown}")
+        for start, stop, warm in _warm_segments(np, kinds, honor_warm):
+            if stop > start:
+                segment_kinds = kinds[start:stop]
+                segment_args = batch.arg[start:stop]
+                touch_addresses, _ = expand_touches(
+                    segment_kinds, batch.address[start:stop], segment_args
+                )
+                ladder.touch_block(touch_addresses)
+                touches += len(touch_addresses)
+                cform_lines += int(
+                    segment_args[segment_kinds == KIND_CFORM].sum()
+                )
+                alloc_events += int((segment_kinds == KIND_ALLOC).sum())
+            if warm is not None:
+                ladder.reset_counters()
+                touches = 0
+                cform_lines = 0
+                alloc_events = 0
+    events = MemoryEventCounts(
+        l1_accesses=ladder.l1.accesses,
+        l1_misses=ladder.l1.misses,
+        l2_misses=ladder.l2.misses,
+        l3_misses=ladder.l3.misses,
+    )
+    return ShardStats(
+        events=events,
+        touches=touches,
+        cform_lines=cform_lines,
+        alloc_events=alloc_events,
+        violations=0,
+        amat_cycles=_amat_cycles(config, events),
+    )
+
+
+def replay_timing(
+    source,
+    verify: bool = True,
+    with_footer: bool = False,
+    engine: str | None = None,
+):
     """Replay a full trace through fresh tag caches; return its RunResult.
 
     With ``verify`` (the default) the recomputed event counts and the
@@ -221,11 +359,19 @@ def replay_timing(source, verify: bool = True, with_footer: bool = False):
     needing footer metadata (record counts, ...) avoid a second pass
     over the file.
 
+    ``engine`` picks the replay implementation (see :func:`resolve_engine`);
+    both engines produce identical results, so the choice is purely a
+    speed/dependency trade.
+
     Only whole recorded traces carry the run summary this reconstructs;
     for shard files use :func:`replay_shards` (region accounting).
     """
+    engine = resolve_engine(engine)
     with TraceReader(source) as reader:
-        stats = _replay_timing_stream(reader)
+        if engine == "columnar":
+            stats = _replay_timing_columns(reader)
+        else:
+            stats = _replay_timing_stream(reader)
         footer = reader.read_footer()
         if "benchmark" not in footer:
             kind = footer.get("kind", "unknown")
@@ -370,10 +516,81 @@ def _replay_hierarchy_stream(
     )
 
 
-def replay_hierarchy(source) -> ShardStats:
+def _replay_hierarchy_columns(
+    reader: TraceReader, honor_warm: bool = True
+) -> ShardStats:
+    """Columnar twin of :func:`_replay_hierarchy_stream`.
+
+    The data-carrying hierarchy moves real bytes per access, so the
+    per-access work stays sequential — the columnar win here is the
+    array-native decode plus :meth:`MemoryHierarchy.replay_columns`,
+    which consumes whole column segments without building op tuples.
+    State evolution is record-order either way (the per-record path's op
+    batching is a pure buffering artifact), so statistics and violation
+    counts are bit-identical.
+    """
+    np = require_numpy()
+    config = _config_from_header(reader.header)
+    hierarchy = MemoryHierarchy(config)
+    replay_columns = hierarchy.replay_columns
+    violations = 0
+    touches = 0
+    cform_lines = 0
+    alloc_events = 0
+    for batch in reader.column_batches():
+        kinds = batch.kind
+        unknown = _first_unknown_kind(np, kinds)
+        if unknown is not None:
+            raise TraceFormatError(f"unknown record kind {unknown}")
+        for start, stop, warm in _warm_segments(np, kinds, honor_warm):
+            if stop > start:
+                segment_kinds = kinds[start:stop]
+                segment_args = batch.arg[start:stop]
+                violations += replay_columns(
+                    segment_kinds,
+                    batch.address[start:stop],
+                    segment_args,
+                    cform_offsets=CFORM_REPLAY_OFFSETS,
+                )
+                cform = int(segment_args[segment_kinds == KIND_CFORM].sum())
+                touches += cform + int(
+                    (
+                        (segment_kinds == KIND_LOAD)
+                        | (segment_kinds == KIND_STORE)
+                    ).sum()
+                )
+                cform_lines += cform
+                alloc_events += int((segment_kinds == KIND_ALLOC).sum())
+            if warm is not None:
+                hierarchy.reset_stats()
+                violations = 0
+                touches = 0
+                cform_lines = 0
+                alloc_events = 0
+    events = MemoryEventCounts(
+        l1_accesses=hierarchy.l1.stats.accesses,
+        l1_misses=hierarchy.l1.stats.misses,
+        l2_misses=hierarchy.l2.stats.misses,
+        l3_misses=hierarchy.l3.stats.misses,
+    )
+    return ShardStats(
+        events=events,
+        touches=touches,
+        cform_lines=cform_lines,
+        alloc_events=alloc_events,
+        violations=violations,
+        amat_cycles=hierarchy.total_cycles(),
+    )
+
+
+def replay_hierarchy(source, engine: str | None = None) -> ShardStats:
     """Full-fidelity replay: data movement, exceptions, AMAT cycles."""
+    engine = resolve_engine(engine)
     with TraceReader(source) as reader:
-        stats = _replay_hierarchy_stream(reader)
+        if engine == "columnar":
+            stats = _replay_hierarchy_columns(reader)
+        else:
+            stats = _replay_hierarchy_stream(reader)
         reader.read_footer()
     return stats
 
@@ -452,7 +669,15 @@ def shard_trace(path: str, out_dir: str, shards: int) -> list[str]:
     return paths
 
 
-def _replay_shard_worker(task: tuple[str, str]) -> ShardStats:
+_SHARD_STREAMS = {
+    ("timing", "records"): _replay_timing_stream,
+    ("timing", "columnar"): _replay_timing_columns,
+    ("hierarchy", "records"): _replay_hierarchy_stream,
+    ("hierarchy", "columnar"): _replay_hierarchy_columns,
+}
+
+
+def _replay_shard_worker(task: tuple[str, str, str]) -> ShardStats:
     """Process-pool entry point: replay one shard (region) file.
 
     Region semantics: EV_WARM does not reset counters here, so the
@@ -460,18 +685,19 @@ def _replay_shard_worker(task: tuple[str, str]) -> ShardStats:
     function of the trace alone — the shard count only moves the cold
     cache boundaries.
     """
-    shard_path, mode = task
+    shard_path, mode, engine = task
+    replay_stream = _SHARD_STREAMS[mode, engine]
     with TraceReader(shard_path) as reader:
-        if mode == "hierarchy":
-            stats = _replay_hierarchy_stream(reader, honor_warm=False)
-        else:
-            stats = _replay_timing_stream(reader, honor_warm=False)
+        stats = replay_stream(reader, honor_warm=False)
         reader.read_footer()
     return stats
 
 
 def replay_shards(
-    shard_paths: list[str], jobs: int = 1, mode: str = "timing"
+    shard_paths: list[str],
+    jobs: int = 1,
+    mode: str = "timing",
+    engine: str | None = None,
 ) -> MergedReplay:
     """Replay shard files (serially or across processes) and merge.
 
@@ -489,7 +715,8 @@ def replay_shards(
         raise ValueError(f"unknown replay mode {mode!r}")
     if not shard_paths:
         raise ValueError("no shard files to replay")
-    tasks = [(path, mode) for path in shard_paths]
+    engine = resolve_engine(engine)
+    tasks = [(path, mode, engine) for path in shard_paths]
     if jobs > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             results = list(pool.map(_replay_shard_worker, tasks))
@@ -644,10 +871,173 @@ def _filter_core_worker(task: tuple) -> _CoreFilter:
     return _filter_core_stream(core, cores, paths, config)
 
 
+@dataclass(frozen=True)
+class _CoreFilterColumns:
+    """Phase-1 output for one core on the columnar engine.
+
+    Same accounting as :class:`_CoreFilter`, but the L3 residue is a
+    pair of parallel int64 arrays (``slots`` / ``addresses``) instead of
+    tuple entries; warm boundaries appear as ``_WARM_RESET`` addresses
+    exactly like the per-record entries.
+    """
+
+    config: HierarchyConfig
+    l1_accesses: int
+    l1_misses: int
+    l2_misses: int
+    touches: int
+    cform_lines: int
+    alloc_events: int
+    slots: "object"  # numpy int64 array
+    addresses: "object"  # numpy int64 array
+
+
+def _filter_core_columns(
+    core: int, cores: int, sources, config: HierarchyConfig | None
+) -> _CoreFilterColumns:
+    """Columnar twin of :func:`_filter_core_stream`.
+
+    A 2-level :class:`LadderKernel` filters the expanded touch columns;
+    the surviving touches keep their record's global slot (``record
+    index * cores + core``) so phase 2 can merge the per-core residues
+    into the recorded interleaving.  CFORM touches share their record's
+    slot with intra-record order preserved, matching the per-record
+    entries exactly.
+    """
+    np = require_numpy()
+    explicit_config = config
+    ladder: LadderKernel | None = None
+    slot_blocks: list = []
+    address_blocks: list = []
+    touches = 0
+    cform_lines = 0
+    alloc_events = 0
+    offset = core * _CORE_ADDRESS_STRIDE  # disjoint physical spaces
+    stream_index = 0  # records consumed; this core's next slot is
+    #                   core + stream_index * cores
+    for source in sources:
+        with TraceReader(source) as reader:
+            source_config = _config_from_header(reader.header)
+            if config is None:
+                config = source_config
+            elif explicit_config is None and source_config != config:
+                raise TraceFormatError(
+                    "trace files of one core stream were recorded under "
+                    "different hierarchy configurations"
+                )
+            if ladder is None:
+                ladder = LadderKernel(config, levels=2)
+            honor_warm = "shard" not in reader.header
+            for batch in reader.column_batches():
+                kinds = batch.kind
+                unknown = _first_unknown_kind(np, kinds)
+                if unknown is not None:
+                    raise TraceFormatError(f"unknown record kind {unknown}")
+                record_slots = core + (
+                    stream_index + np.arange(len(kinds), dtype=np.int64)
+                ) * cores
+                for start, stop, warm in _warm_segments(np, kinds, honor_warm):
+                    if stop > start:
+                        segment_kinds = kinds[start:stop]
+                        segment_args = batch.arg[start:stop]
+                        touch_addresses, counts = expand_touches(
+                            segment_kinds,
+                            batch.address[start:stop],
+                            segment_args,
+                        )
+                        missed = ladder.touch_block(touch_addresses)
+                        if missed.size:
+                            touch_slots = np.repeat(
+                                record_slots[start:stop], counts
+                            )
+                            slot_blocks.append(touch_slots[missed])
+                            address_blocks.append(
+                                touch_addresses[missed] + offset
+                            )
+                        touches += len(touch_addresses)
+                        cform_lines += int(
+                            segment_args[segment_kinds == KIND_CFORM].sum()
+                        )
+                        alloc_events += int(
+                            (segment_kinds == KIND_ALLOC).sum()
+                        )
+                    if warm is not None:
+                        ladder.reset_counters()
+                        touches = 0
+                        cform_lines = 0
+                        alloc_events = 0
+                        slot_blocks.append(record_slots[warm : warm + 1])
+                        address_blocks.append(
+                            np.full(1, _WARM_RESET, dtype=np.int64)
+                        )
+                stream_index += len(kinds)
+            reader.read_footer()
+    if ladder is None:  # no sources for this core
+        raise ValueError(f"core {core} has no trace sources")
+    if slot_blocks:
+        slots = np.concatenate(slot_blocks)
+        addresses = np.concatenate(address_blocks)
+    else:
+        slots = np.empty(0, dtype=np.int64)
+        addresses = np.empty(0, dtype=np.int64)
+    return _CoreFilterColumns(
+        config=config,
+        l1_accesses=ladder.l1.accesses,
+        l1_misses=ladder.l1.misses,
+        l2_misses=ladder.l2.misses,
+        touches=touches,
+        cform_lines=cform_lines,
+        alloc_events=alloc_events,
+        slots=slots,
+        addresses=addresses,
+    )
+
+
+def _filter_core_columns_worker(task: tuple) -> _CoreFilterColumns:
+    """Process-pool entry point for columnar phase 1 (paths only)."""
+    core, cores, paths, config = task
+    return _filter_core_columns(core, cores, paths, config)
+
+
+def _merge_shared_columns(
+    config: HierarchyConfig, cores: int, filters: list
+) -> list[int]:
+    """Columnar phase 2: merge the residues into one shared-L3 kernel.
+
+    A stable sort on the concatenated slot arrays reproduces the
+    ``heapq.merge`` interleaving exactly: cross-core slots are unique
+    (``slot % cores == core``), and equal slots — a CFORM record's line
+    touches — are contiguous per core in stream order, which stable
+    sorting preserves.  Warm-reset sentinels split the stream so each
+    core's attribution resets at its recorded boundary while the tag
+    contents stay warm.  Returns the per-core shared-L3 miss counts.
+    """
+    np = require_numpy()
+    shared = SharedL3Kernel(config, cores)
+    slots = np.concatenate([filtered.slots for filtered in filters])
+    addresses = np.concatenate([filtered.addresses for filtered in filters])
+    order = np.argsort(slots, kind="stable")
+    slots = slots[order]
+    addresses = addresses[order]
+    core_column = slots % cores
+    start = 0
+    for position in np.flatnonzero(addresses == _WARM_RESET).tolist():
+        if position > start:
+            shared.replay_columns(
+                core_column[start:position], addresses[start:position]
+            )
+        shared.reset_core(int(core_column[position]))
+        start = position + 1
+    if start < len(addresses):
+        shared.replay_columns(core_column[start:], addresses[start:])
+    return shared.misses
+
+
 def replay_multicore(
     core_sources: list,
     jobs: int = 1,
     config: HierarchyConfig | None = None,
+    engine: str | None = None,
 ) -> MulticoreReplay:
     """Replay one trace stream per core against a shared L3.
 
@@ -661,12 +1051,17 @@ def replay_multicore(
     extra-latency knobs); by default every trace must have been recorded
     under the same configuration, which is then used.
 
+    ``engine`` picks the replay implementation for both phases (see
+    :func:`resolve_engine`); the returned accounting is identical either
+    way.
+
     Returns per-core :class:`ShardStats` (shared-L3 misses attributed to
     the requesting core, cycles from the shared AMAT helper) plus their
     merged sum.
     """
     if not core_sources:
         raise ValueError("no cores to replay")
+    engine = resolve_engine(engine)
     normalized: list[tuple] = []
     for entry in core_sources:
         if isinstance(entry, (list, tuple)):
@@ -678,6 +1073,11 @@ def replay_multicore(
         (core, cores, sources, config)
         for core, sources in enumerate(normalized)
     ]
+    worker = (
+        _filter_core_columns_worker
+        if engine == "columnar"
+        else _filter_core_worker
+    )
     if jobs > 1:
         if not all(
             isinstance(source, str)
@@ -689,9 +1089,9 @@ def replay_multicore(
                 "cross process boundaries)"
             )
         with ProcessPoolExecutor(max_workers=min(jobs, cores)) as pool:
-            filters = list(pool.map(_filter_core_worker, tasks))
+            filters = list(pool.map(worker, tasks))
     else:
-        filters = [_filter_core_worker(task) for task in tasks]
+        filters = [worker(task) for task in tasks]
     resolved = filters[0].config
     for core, filtered in enumerate(filters):
         if filtered.config != resolved:
@@ -703,17 +1103,21 @@ def replay_multicore(
     # Phase 2: deterministic serial merge into the shared L3.  Slots are
     # unique (slot % cores == core), so the merge order is total and
     # heapq.merge keeps each core's own entries in stream order.
-    shared = SharedL3(resolved, cores)
-    shared_access = shared.access
-    reset_core = shared.reset_core
-    for slot, address in heapq.merge(
-        *(filtered.entries for filtered in filters), key=itemgetter(0)
-    ):
-        core = slot % cores
-        if address == _WARM_RESET:
-            reset_core(core)
-        else:
-            shared_access(core, address)
+    if engine == "columnar":
+        shared_misses = _merge_shared_columns(resolved, cores, filters)
+    else:
+        shared = SharedL3(resolved, cores)
+        shared_access = shared.access
+        reset_core = shared.reset_core
+        for slot, address in heapq.merge(
+            *(filtered.entries for filtered in filters), key=itemgetter(0)
+        ):
+            core = slot % cores
+            if address == _WARM_RESET:
+                reset_core(core)
+            else:
+                shared_access(core, address)
+        shared_misses = shared.misses
 
     per_core: list[ShardStats] = []
     for core, filtered in enumerate(filters):
@@ -721,7 +1125,7 @@ def replay_multicore(
             l1_accesses=filtered.l1_accesses,
             l1_misses=filtered.l1_misses,
             l2_misses=filtered.l2_misses,
-            l3_misses=shared.misses[core],
+            l3_misses=shared_misses[core],
         )
         per_core.append(
             ShardStats(

@@ -1,0 +1,243 @@
+"""The ``repro run --check`` regression gate (repro.experiments.check)."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.check import (
+    DEFAULT_IGNORE_KEYS,
+    TOLERANCES_FILE,
+    CheckReport,
+    Drift,
+    Tolerances,
+    check_outcomes,
+    diff_data,
+    update_reference,
+)
+from repro.experiments.results import SectionFailure, SectionResult
+
+
+def result(name="fig", data=None):
+    return SectionResult(
+        name=name,
+        title=f"Title of {name}",
+        data={"metric": 1.0, "rows": [1, 2, 3]} if data is None else data,
+        markdown="body",
+        tags=("test",),
+    )
+
+
+class TestDiffData:
+    def test_identical_payloads_have_no_drift(self):
+        data = {"a": 1, "b": [1.5, {"c": "x"}], "d": None}
+        assert diff_data(data, data, Tolerances(), "s") == []
+
+    def test_numeric_change_is_reported_with_its_path(self):
+        drifts = diff_data(
+            {"outer": [{"metric": 2.0}]},
+            {"outer": [{"metric": 3.0}]},
+            Tolerances(),
+            "s",
+        )
+        assert [d.path for d in drifts] == ["data.outer[0].metric"]
+        assert drifts[0].kind == "changed"
+        assert (drifts[0].reference, drifts[0].measured) == (2.0, 3.0)
+
+    def test_ignored_provenance_keys_may_move_freely(self):
+        assert "source" in DEFAULT_IGNORE_KEYS
+        drifts = diff_data(
+            {"source": "recorded", "metric": 5},
+            {"source": "corpus hit", "metric": 5},
+            Tolerances(),
+            "s",
+        )
+        assert drifts == []
+
+    def test_per_metric_tolerance_budget_is_honoured(self):
+        tolerances = Tolerances(metrics={"noisy": {"rel_tol": 0.10}})
+        within = diff_data({"noisy": 100.0}, {"noisy": 109.0}, tolerances, "s")
+        beyond = diff_data({"noisy": 100.0}, {"noisy": 112.0}, tolerances, "s")
+        exact = diff_data({"other": 100.0}, {"other": 100.5}, tolerances, "s")
+        assert within == []
+        assert [d.path for d in beyond] == ["data.noisy"]
+        assert [d.path for d in exact] == ["data.other"]
+
+    def test_metric_name_reaches_through_lists(self):
+        # The budget is addressed by the nearest enclosing dict key even
+        # when the values sit inside a list.
+        tolerances = Tolerances(metrics={"noisy": {"abs_tol": 1.0}})
+        drifts = diff_data(
+            {"noisy": [10.0, 20.0]}, {"noisy": [10.5, 20.5]}, tolerances, "s"
+        )
+        assert drifts == []
+
+    def test_structure_changes_are_drift(self):
+        gone = diff_data({"a": 1, "b": 2}, {"a": 1}, Tolerances(), "s")
+        new = diff_data({"a": 1}, {"a": 1, "b": 2}, Tolerances(), "s")
+        length = diff_data({"rows": [1, 2]}, {"rows": [1]}, Tolerances(), "s")
+        assert [d.kind for d in gone] == ["missing"]
+        assert [d.kind for d in new] == ["added"]
+        assert [(d.path, d.kind) for d in length] == [
+            ("data.rows.length", "changed")
+        ]
+
+    def test_bool_int_type_flip_is_drift_despite_equal_value(self):
+        assert diff_data({"flag": True}, {"flag": 1}, Tolerances(), "s")
+        assert diff_data({"flag": 1}, {"flag": True}, Tolerances(), "s")
+
+    def test_nan_matches_only_nan(self):
+        nan = float("nan")
+        assert diff_data({"v": nan}, {"v": nan}, Tolerances(), "s") == []
+        assert diff_data({"v": nan}, {"v": 1.0}, Tolerances(), "s")
+
+
+class TestTolerancesSchema:
+    def test_round_trips_through_its_document(self):
+        tolerances = Tolerances(
+            ignore_keys=frozenset({"source", "host"}),
+            rel_tol=1e-9,
+            metrics={"noisy": {"rel_tol": 0.05, "abs_tol": 0.1}},
+        )
+        again = Tolerances.from_dict(tolerances.to_dict())
+        assert again == tolerances
+        assert again.budget("noisy") == (0.05, 0.1)
+        assert again.budget("other") == (1e-9, 0.0)
+
+    def test_load_falls_back_to_defaults_without_a_file(self, tmp_path):
+        assert Tolerances.load(str(tmp_path)) == Tolerances()
+
+    def test_load_reads_the_committed_schema(self, tmp_path):
+        path = tmp_path / TOLERANCES_FILE
+        path.write_text(
+            json.dumps(
+                Tolerances(ignore_keys=frozenset({"host"})).to_dict()
+            )
+        )
+        assert Tolerances.load(str(tmp_path)).ignore_keys == {"host"}
+
+    def test_rejects_unknown_schema_tags(self):
+        with pytest.raises(ValueError, match="unsupported tolerance schema"):
+            Tolerances.from_dict({"schema": "something/v9"})
+
+
+class TestCheckOutcomes:
+    def test_clean_run_matches_its_own_reference(self, tmp_path):
+        outcomes = [result("a"), result("b")]
+        update_reference(outcomes, str(tmp_path))
+        report = check_outcomes(outcomes, str(tmp_path))
+        assert report.ok
+        assert report.sections == 2
+        assert report.to_index()["status"] == "ok"
+        assert report.summary() == [
+            f"check: 2 section(s) match {tmp_path}/"
+        ]
+
+    def test_metric_drift_fails_the_gate(self, tmp_path):
+        update_reference([result("a")], str(tmp_path))
+        moved = result("a", data={"metric": 2.0, "rows": [1, 2, 3]})
+        report = check_outcomes([moved], str(tmp_path))
+        assert not report.ok
+        index = report.to_index()
+        assert index["status"] == "drift"
+        assert index["drifts"][0]["path"] == "data.metric"
+        assert any("data.metric" in line for line in report.summary())
+
+    def test_missing_reference_document_is_drift(self, tmp_path):
+        report = check_outcomes([result("unseeded")], str(tmp_path))
+        assert [d.kind for d in report.drifts] == ["missing-reference"]
+
+    def test_failed_section_is_drift(self, tmp_path):
+        failure = SectionFailure(name="a", title="A", error="boom")
+        report = check_outcomes([failure], str(tmp_path))
+        assert [d.kind for d in report.drifts] == ["section-failed"]
+        assert "boom" in report.drifts[0].describe()
+
+    def test_check_uses_the_committed_tolerances(self, tmp_path):
+        update_reference([result("a")], str(tmp_path))
+        schema = tmp_path / TOLERANCES_FILE
+        schema.write_text(
+            json.dumps(
+                Tolerances(metrics={"metric": {"abs_tol": 5.0}}).to_dict()
+            )
+        )
+        moved = result("a", data={"metric": 4.0, "rows": [1, 2, 3]})
+        assert check_outcomes([moved], str(tmp_path)).ok
+
+
+class TestUpdateReference:
+    def test_writes_documents_and_schema_once(self, tmp_path):
+        paths = update_reference([result("a")], str(tmp_path))
+        assert sorted(os.path.basename(p) for p in paths) == [
+            "a.json", TOLERANCES_FILE,
+        ]
+        # The reference documents are full SectionResult files.
+        reloaded = SectionResult.from_json((tmp_path / "a.json").read_text())
+        assert reloaded == result("a")
+        # A second update rewrites documents but keeps the schema.
+        again = update_reference([result("a")], str(tmp_path))
+        assert [os.path.basename(p) for p in again] == ["a.json"]
+
+    def test_refuses_to_seed_from_a_failed_run(self, tmp_path):
+        failure = SectionFailure(name="a", title="A", error="boom")
+        with pytest.raises(ValueError, match="failed section"):
+            update_reference([result("b"), failure], str(tmp_path))
+        assert not (tmp_path / "b.json").exists()
+
+
+class TestCommittedReference:
+    """The repo's own committed gate artifacts stay loadable."""
+
+    REFERENCE = os.path.join(
+        os.path.dirname(__file__), "..", "..", "results", "reference"
+    )
+
+    def test_committed_schema_parses(self):
+        tolerances = Tolerances.load(self.REFERENCE)
+        assert "source" in tolerances.ignore_keys
+
+    def test_committed_documents_parse_and_cover_the_registry(self):
+        from repro.experiments.registry import all_experiments
+
+        names = {
+            name[: -len(".json")]
+            for name in os.listdir(self.REFERENCE)
+            if name.endswith(".json") and name != TOLERANCES_FILE
+        }
+        assert names == {e.name for e in all_experiments()}
+        for name in sorted(names):
+            path = os.path.join(self.REFERENCE, f"{name}.json")
+            document = SectionResult.from_json(open(path).read())
+            assert document.name == name
+
+    def test_reference_matches_reference(self):
+        # Self-consistency: the committed documents pass their own gate.
+        outcomes = [
+            SectionResult.from_json(
+                open(os.path.join(self.REFERENCE, name)).read()
+            )
+            for name in sorted(os.listdir(self.REFERENCE))
+            if name.endswith(".json") and name != TOLERANCES_FILE
+        ]
+        assert check_outcomes(outcomes, self.REFERENCE).ok
+
+
+class TestDriftRendering:
+    def test_describe_covers_every_kind(self):
+        cases = [
+            Drift("s", "data.x", "changed", 1, 2),
+            Drift("s", "data.x", "missing", 1, None),
+            Drift("s", "data.x", "added", None, 2),
+            Drift("s", "section", "section-failed", None, "boom"),
+            Drift("s", "section", "missing-reference"),
+        ]
+        for drift in cases:
+            assert "s" in drift.describe()
+
+    def test_report_summary_lists_each_drift(self):
+        report = CheckReport(
+            reference_dir="ref",
+            sections=3,
+            drifts=(Drift("s", "data.x", "changed", 1, 2),),
+        )
+        assert len(report.summary()) == 2
