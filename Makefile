@@ -21,7 +21,8 @@ CORPUS_DIR ?= .repro-corpus
 
 .PHONY: test test-slow bench bench-quick bench-smoke bench-profile \
         experiments experiments-full experiments-smoke faults-smoke \
-        trace-demo trace-demo-mc corpus-demo loadgen-smoke kernel-smoke
+        trace-demo trace-demo-mc corpus-demo loadgen-smoke kernel-smoke \
+        telemetry-smoke
 
 #: Scratch directory for the fault-injection matrix (wiped each run).
 FAULTS_DIR ?= .repro-faults
@@ -70,6 +71,32 @@ experiments-smoke:
 faults-smoke:
 	$(PY) -m repro faults matrix --root "$(FAULTS_DIR)" \
 		--json "$(FAULTS_DIR)-cases.json"
+
+#: Results directory for the telemetry-smoke run (kept, so CI can
+#: upload the metrics/span artifacts).
+TELEMETRY_DIR ?= .repro-telemetry
+
+## CI gate for the telemetry subsystem: run two quick sections with
+## spans + per-section cProfile, assert the exported artifacts exist
+## and parse (metrics.json schema, span log schema, Prometheus text),
+## then read the sidecar back through the CLI.  See docs/OBSERVABILITY.md.
+telemetry-smoke:
+	set -e; rm -rf "$(TELEMETRY_DIR)"; \
+	$(PY) -m repro run fig03 table1 --profile-sections \
+		--results-dir "$(TELEMETRY_DIR)" \
+		--output "$(TELEMETRY_DIR)/EXPERIMENTS.partial.md"; \
+	$(PY) -c "import json, sys; \
+	from repro.telemetry.export import validate_metrics_document, validate_span_log; \
+	doc = json.load(open('$(TELEMETRY_DIR)/telemetry/metrics.json')); \
+	problems = validate_metrics_document(doc) \
+	    + validate_span_log('$(TELEMETRY_DIR)/telemetry/spans.jsonl'); \
+	[print('FAIL', p) for p in problems]; \
+	sys.exit(1 if problems else 0)"; \
+	$(PY) -c "import sys; \
+	text = open('$(TELEMETRY_DIR)/telemetry/metrics.prom').read(); \
+	sys.exit(0 if '# TYPE' in text else 1)"; \
+	$(PY) -m repro telemetry summarize "$(TELEMETRY_DIR)/telemetry"; \
+	echo "telemetry-smoke: artifacts present, schemas valid"
 
 ## Trace engine end-to-end: record -> info -> shard -> parallel replay.
 ## Runs in a private mktemp dir (removed on exit) unless TRACE_DEMO_DIR

@@ -2,13 +2,14 @@
 
 Subcommands::
 
-    run     run registered experiments (by name/tag/--set; default: all)
-            and write EXPERIMENTS.md + results/*.json
-    perf    the perf harness            (= python -m repro.perf ...)
-    trace   the trace engine            (= python -m repro.traces ...)
-    corpus  the corpus store            (= python -m repro.corpus ...)
-    faults  fault injection             (= python -m repro.reliability ...)
-    loadgen the traffic engine          (= python -m repro.loadgen ...)
+    run       run registered experiments (by name/tag/--set; default: all)
+              and write EXPERIMENTS.md + results/*.json
+    perf      the perf harness          (= python -m repro.perf ...)
+    trace     the trace engine          (= python -m repro.traces ...)
+    corpus    the corpus store          (= python -m repro.corpus ...)
+    faults    fault injection           (= python -m repro.reliability ...)
+    loadgen   the traffic engine        (= python -m repro.loadgen ...)
+    telemetry run introspection         (= python -m repro.telemetry ...)
 
 ``run`` is implemented here against the experiment registry; the others
 delegate verbatim to the existing module CLIs, so every flag those
@@ -22,6 +23,9 @@ tools document works unchanged.  Examples::
     python -m repro run --set synthetic        # a loadgen benchmark set
     python -m repro run --check                # gate vs results/reference/
     python -m repro run --update-reference     # reseed the committed refs
+    python -m repro run --telemetry            # spans + metrics sidecar
+    python -m repro run --profile-sections     # + per-section cProfile
+    python -m repro telemetry summarize        # read the sidecar back
     python -m repro perf --quick
     python -m repro trace list
     python -m repro corpus ls
@@ -79,6 +83,7 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         jobs=arguments.jobs,
         faults=arguments.faults,
         sets=sets,
+        profile_sections=arguments.profile_sections,
     )
     names = list(arguments.names)
     if sets and "loadgen_contention" not in names:
@@ -86,15 +91,6 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         # name/tag selection rather than replacing it.
         names.append("loadgen_contention")
     experiments = select(names, arguments.tag or ())
-    started = time.time()
-    # Snapshot the corpus heal ledger so this run reports exactly the
-    # self-heal events it caused (workers append to the same file).
-    heal_cursor = ctx.store.heal_log_size() if ctx.store else 0
-    report = execute_report(experiments, ctx)
-    results = report.outcomes
-    corpus_events = (
-        ctx.store.heal_events(since=heal_cursor) if ctx.store else []
-    )
     # A name/tag/--set selection defaults its artifacts to partial
     # locations (EXPERIMENTS.partial.md, results/partial/) so it never
     # clobbers the canonical all-sections report and results trajectory;
@@ -108,6 +104,44 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         if partial
         else DEFAULT_RESULTS_DIR
     )
+    # Telemetry is opt-in (--telemetry / --profile-sections) and implied
+    # by paper-scale runs (--full); --no-telemetry always wins.  Default
+    # (quick) runs stay telemetry-free so their artifacts — including
+    # index.json's null observability stanza — are byte-identical across
+    # invocations.
+    telemetry_enabled = (
+        arguments.telemetry is not None
+        or profile == "full"
+        or arguments.profile_sections
+    ) and not arguments.no_telemetry
+    telemetry_dir = None
+    if telemetry_enabled:
+        from repro import telemetry as telemetry_module
+
+        telemetry_dir = arguments.telemetry or os.path.join(
+            results_dir, "telemetry"
+        )
+        telemetry_module.configure(telemetry_dir, fresh=True)
+    started = time.time()
+    # Snapshot the corpus heal ledger so this run reports exactly the
+    # self-heal events it caused (workers append to the same file).
+    heal_cursor = ctx.store.heal_log_size() if ctx.store else 0
+    try:
+        report = execute_report(experiments, ctx)
+    finally:
+        # Final flush + close + drop the env switch, even on a failed
+        # run, so an in-process caller never inherits a stale sink.
+        if telemetry_dir is not None:
+            telemetry_module.shutdown()
+    results = report.outcomes
+    corpus_events = (
+        ctx.store.heal_events(since=heal_cursor) if ctx.store else []
+    )
+    telemetry_paths = None
+    if telemetry_dir is not None:
+        from repro.telemetry.export import export_run
+
+        telemetry_paths = export_run(telemetry_dir)
     check_report = None
     if arguments.check:
         from repro.experiments.check import check_outcomes
@@ -122,8 +156,16 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
             incidents=report.incidents,
             corpus_events=corpus_events,
             check=check_report.to_index() if check_report else None,
+            timing=report.timing if telemetry_dir is not None else None,
+            telemetry=telemetry_dir,
         )
         print(f"results: {len(paths) - 1} section file(s) in {results_dir}/")
+    if telemetry_paths is not None:
+        print(
+            f"telemetry: {', '.join(sorted(os.path.basename(p) for p in telemetry_paths.values()))} "
+            f"in {telemetry_dir}/ "
+            f"(inspect: python -m repro telemetry summarize {telemetry_dir})"
+        )
     if arguments.update_reference:
         from repro.experiments.check import update_reference
 
@@ -177,6 +219,7 @@ _DELEGATED = {
     "corpus": "repro.corpus.__main__",
     "faults": "repro.reliability.__main__",
     "loadgen": "repro.loadgen.__main__",
+    "telemetry": "repro.telemetry.__main__",
 }
 
 
@@ -256,6 +299,22 @@ def main(argv: list[str] | None = None) -> int:
         "python -m repro faults plan)",
     )
     run.add_argument(
+        "--telemetry", nargs="?", const="", default=None, metavar="DIR",
+        help="capture spans + metrics into DIR (default: "
+        "<results dir>/telemetry); implied by --full and "
+        "--profile-sections.  Deterministic artifacts are unaffected.",
+    )
+    run.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable telemetry even where it is implied (--full, "
+        "--profile-sections)",
+    )
+    run.add_argument(
+        "--profile-sections", action="store_true",
+        help="cProfile each section into the telemetry sink "
+        "(profiles/*.pstats + hotspot records; implies --telemetry)",
+    )
+    run.add_argument(
         "--check", action="store_true",
         help="gate this run's section data against the committed "
         "reference results; any metric drift exits non-zero and is "
@@ -284,6 +343,7 @@ def main(argv: list[str] | None = None) -> int:
         ("corpus", "corpus store (= python -m repro.corpus ...)"),
         ("faults", "fault injection (= python -m repro.reliability ...)"),
         ("loadgen", "traffic engine (= python -m repro.loadgen ...)"),
+        ("telemetry", "run introspection (= python -m repro.telemetry ...)"),
     ):
         commands.add_parser(name, help=help_text, add_help=False)
 

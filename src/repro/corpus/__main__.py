@@ -95,6 +95,20 @@ def _cmd_ls(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _print_heal_summary(store: CorpusStore) -> None:
+    """One-line view of the quarantine ledger (events.jsonl), if any."""
+    summary = store.heal_summary()
+    if not summary["events"]:
+        return
+    print(
+        f"heal ledger: {summary['events']} event(s), "
+        f"{summary['quarantined']} quarantined file(s) "
+        f"({store.heal_log_path})"
+    )
+    for name, count in sorted(summary["scenarios"].items()):
+        print(f"  {name}: {count} event(s)")
+
+
 def _cmd_verify(arguments: argparse.Namespace) -> int:
     store = _store(arguments)
     entries = len(store.manifest().entries)
@@ -113,6 +127,7 @@ def _cmd_verify(arguments: argparse.Namespace) -> int:
             f"{len(store.manifest().entries)} entries verified "
             f"(quarantine: {store.quarantine_dir})"
         )
+        _print_heal_summary(store)
         return 0
     problems = store.verify()
     if problems:
@@ -123,8 +138,10 @@ def _cmd_verify(arguments: argparse.Namespace) -> int:
             f"(rerun with --repair to self-heal)",
             file=sys.stderr,
         )
+        _print_heal_summary(store)
         return 1
     print(f"ok: {entries} entries, every object hash verified")
+    _print_heal_summary(store)
     return 0
 
 

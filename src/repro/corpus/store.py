@@ -36,6 +36,8 @@ import tempfile
 from dataclasses import dataclass
 
 from repro.memory.hierarchy import WESTMERE, HierarchyConfig
+from repro.telemetry.runtime import active as telemetry_active
+from repro.telemetry.runtime import span as telemetry_span
 from repro.traces.format import EV_END, MAGIC, RECORD, TraceReader
 from repro.traces.recorder import _geometry_dict, record_spec
 from repro.traces.registry import CORPUS, TraceScenarioSpec, policy_to_str
@@ -229,6 +231,9 @@ class CorpusStore:
             problem = self._object_problem(path, entry)
             if problem is None:
                 self.hits += 1
+                tel = telemetry_active()
+                if tel is not None:
+                    tel.inc("corpus_resolutions_total", outcome="hit")
                 return CorpusObject(path=path, entry=entry, built=False)
             self._heal(entry, problem)
         return self._build(fingerprint, spec, config)
@@ -280,6 +285,9 @@ class CorpusStore:
             os.replace(path, target)
         except OSError:
             return None  # deleted under us; nothing left to preserve
+        tel = telemetry_active()
+        if tel is not None:
+            tel.inc("corpus_quarantined_files_total")
         return target
 
     def _log_heal(
@@ -299,6 +307,9 @@ class CorpusStore:
         with open(self.heal_log_path, "a") as handle:
             handle.write(line + "\n")
         self.healed += 1
+        tel = telemetry_active()
+        if tel is not None:
+            tel.inc("corpus_heal_events_total")
 
     def heal_log_size(self) -> int:
         """Current byte length of the heal ledger (a resumable cursor)."""
@@ -319,6 +330,30 @@ class CorpusStore:
                 ]
         except OSError:
             return []
+
+    def heal_summary(self) -> dict:
+        """Summary counts over the whole heal ledger.
+
+        Returns ``{"events", "quarantined", "scenarios"}`` — total
+        ledger lines, how many preserved bytes in quarantine (vs. just
+        dropping a binding), and per-scenario event counts.  An absent
+        ledger summarises to zero events.
+        """
+        events = self.heal_events()
+        quarantined = sum(
+            1
+            for event in events
+            if event.get("action", "").startswith("quarantined")
+        )
+        scenarios: dict[str, int] = {}
+        for event in events:
+            name = event.get("scenario", "?")
+            scenarios[name] = scenarios.get(name, 0) + 1
+        return {
+            "events": len(events),
+            "quarantined": quarantined,
+            "scenarios": scenarios,
+        }
 
     def _heal(self, entry: ManifestEntry, reason: str) -> None:
         """Quarantine a damaged object and drop its manifest binding."""
@@ -353,14 +388,18 @@ class CorpusStore:
         )
         os.close(fd)
         try:
-            record_spec(spec, temp_path, config=config, compress=True)
-            # One decode pass over the fresh recording.  (A hashing tee
-            # inside the writer could fold this into the recording pass;
-            # the cold path runs once per workload ever, so the extra
-            # read is accepted for the recorder's simplicity.)
-            digest, raw_bytes, footer = canonical_digest(temp_path)
-            stored_bytes = os.path.getsize(temp_path)
-            records = footer.get("records", 0)
+            with telemetry_span("corpus/record", scenario=spec.name) as tspan:
+                record_spec(spec, temp_path, config=config, compress=True)
+                # One decode pass over the fresh recording.  (A hashing
+                # tee inside the writer could fold this into the
+                # recording pass; the cold path runs once per workload
+                # ever, so the extra read is accepted for the recorder's
+                # simplicity.)
+                digest, raw_bytes, footer = canonical_digest(temp_path)
+                stored_bytes = os.path.getsize(temp_path)
+                records = footer.get("records", 0)
+                tspan.set("records", records)
+                tspan.set("stored_bytes", stored_bytes)
             path = self.object_path(digest)
             os.makedirs(os.path.dirname(path), exist_ok=True)
             # Atomic publish; racing builders of a deterministic spec
@@ -389,6 +428,9 @@ class CorpusStore:
             save_manifest(manifest, self.manifest_path)
         self.built += 1
         self._verified.add(digest)  # we hashed exactly what we stored
+        tel = telemetry_active()
+        if tel is not None:
+            tel.inc("corpus_resolutions_total", outcome="recorded")
         return CorpusObject(path=path, entry=entry, built=True)
 
     # -- replay-side consumers ----------------------------------------------
@@ -461,10 +503,16 @@ class CorpusStore:
     def verify(self) -> list[str]:
         """Re-hash every referenced object; returns problem descriptions."""
         problems: list[str] = []
+        tel = telemetry_active()
         for _fingerprint, entry in sorted(self.manifest().entries.items()):
             problem = self._object_problem(
                 self.object_path(entry.digest), entry, force=True
             )
+            if tel is not None:
+                tel.inc(
+                    "corpus_verifications_total",
+                    outcome="damaged" if problem is not None else "ok",
+                )
             if problem is not None:
                 problems.append(f"{entry.scenario}: {problem}")
         return problems

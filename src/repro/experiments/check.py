@@ -45,10 +45,21 @@ TOLERANCES_FILE = "tolerances.json"
 #: Schema tag of the tolerance document.
 TOLERANCES_SCHEMA = "repro-check-tolerances/v1"
 
-#: Keys that describe how the run obtained its inputs, not what it
-#: measured: ``source`` flips between "recorded" and "corpus hit"
-#: depending on corpus warmth (see ``trace_checks``/``loadgen_contention``).
-DEFAULT_IGNORE_KEYS = ("source",)
+#: Keys that describe how the run obtained its inputs — or how long it
+#: took — not what it measured: ``source`` flips between "recorded" and
+#: "corpus hit" depending on corpus warmth (see
+#: ``trace_checks``/``loadgen_contention``); the timing/telemetry keys
+#: are the observability stanza (wall-clock varies run to run, so a
+#: gated telemetry run must never fail on them).
+DEFAULT_IGNORE_KEYS = (
+    "source",
+    "timing",
+    "telemetry",
+    "seconds",
+    "duration_s",
+    "elapsed_s",
+    "wall_s",
+)
 
 
 @dataclass(frozen=True)

@@ -54,6 +54,10 @@ class RunContext:
     #: :func:`repro.loadgen.sets.resolve`.  Empty means that section's
     #: default set.
     load_sets: tuple[str, ...] = ()
+    #: Capture a cProfile per section (``repro run --profile-sections``).
+    #: Effective only when telemetry is active — the profiler rides the
+    #: telemetry sink (see :mod:`repro.telemetry.profiler`).
+    profile_sections: bool = False
 
     @classmethod
     def create(
@@ -68,6 +72,7 @@ class RunContext:
         rng_seed: int = 0,
         faults=None,
         sets: tuple[str, ...] = (),
+        profile_sections: bool = False,
     ) -> "RunContext":
         """Build a context from CLI-level knobs.
 
@@ -106,6 +111,7 @@ class RunContext:
             rng_seed=rng_seed,
             faults=faults,
             load_sets=tuple(sets),
+            profile_sections=profile_sections,
         )
 
     # -- corpus --------------------------------------------------------------

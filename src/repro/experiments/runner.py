@@ -47,6 +47,13 @@ from repro.experiments.results import (
     SectionResult,
 )
 from repro.reliability.faults import trip_section_fault
+from repro.telemetry.profiler import profiled_section
+from repro.telemetry.runtime import active as telemetry_active
+from repro.telemetry.runtime import flush as telemetry_flush
+from repro.telemetry.runtime import span as telemetry_span
+
+#: Schema tag of ``results/index.json`` (see docs/API.md).
+INDEX_SCHEMA = "repro-run-index/v1"
 
 #: Default directory for the per-section JSON results.
 DEFAULT_RESULTS_DIR = "results"
@@ -63,13 +70,30 @@ MAX_ATTEMPTS = 2
 INFRASTRUCTURE_ERRORS = (OSError, ManifestLockTimeout, BrokenProcessPool)
 
 
-def _run_by_name(task: tuple[str, RunContext]) -> SectionResult:
+def _timed_run(name: str, run, ctx: RunContext) -> tuple[SectionResult, float]:
+    """Run one section under its telemetry span; returns (result, seconds).
+
+    The wall-clock measurement always happens (it feeds the index's
+    ``timing`` stanza when telemetry is on); the span, the optional
+    cProfile capture and the flush are no-ops without an active sink.
+    The flush matters in pool workers, which exit without ``atexit``.
+    """
+    started = time.perf_counter()
+    with telemetry_span(f"section/{name}", profile=ctx.profile):
+        with profiled_section(name, enabled=ctx.profile_sections):
+            result = run()
+    seconds = time.perf_counter() - started
+    telemetry_flush()
+    return result, seconds
+
+
+def _run_by_name(task: tuple[str, RunContext]) -> tuple[SectionResult, float]:
     """Process-pool entry point: run one registered experiment by name."""
     name, ctx = task
     from repro.experiments.registry import get
 
     trip_section_fault(name, ctx.faults)
-    return get(name).run(ctx)
+    return _timed_run(name, lambda: get(name).run(ctx), ctx)
 
 
 @dataclass
@@ -86,6 +110,10 @@ class RunReport:
 
     outcomes: list[SectionOutcome] = field(default_factory=list)
     incidents: list[dict] = field(default_factory=list)
+    #: Per-section wall-clock seconds of the successful attempt (absent
+    #: for sections that never completed).  Observability only — the
+    #: deterministic artifacts never include these numbers.
+    timing: dict[str, float] = field(default_factory=dict)
 
     @property
     def failures(self) -> list[SectionFailure]:
@@ -119,7 +147,8 @@ def _format_error(error: BaseException) -> tuple[str, str]:
 def _attempt_round(
     pending: list[Experiment], ctx: RunContext
 ) -> tuple[dict[str, SectionResult], dict[str, BaseException]]:
-    """Try every pending section once; returns (results, errors) by name.
+    """Try every pending section once; returns (results, errors) by name,
+    where each result is a ``(SectionResult, wall seconds)`` pair.
 
     With ``jobs > 1`` the sections fan out over a fresh process pool —
     fresh so that a pool broken by a crashed worker in an earlier round
@@ -128,7 +157,7 @@ def _attempt_round(
     caller's retry loop re-runs those, so one killed worker costs one
     bounded re-execution, not the run.
     """
-    results: dict[str, SectionResult] = {}
+    results: dict[str, tuple[SectionResult, float]] = {}
     errors: dict[str, BaseException] = {}
     if ctx.jobs > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=ctx.jobs) as pool:
@@ -147,7 +176,9 @@ def _attempt_round(
     for experiment in pending:
         try:
             trip_section_fault(experiment.name, ctx.faults)
-            results[experiment.name] = experiment.run(ctx)
+            results[experiment.name] = _timed_run(
+                experiment.name, lambda: experiment.run(ctx), ctx
+            )
         except Exception as error:
             errors[experiment.name] = error
     return results, errors
@@ -167,6 +198,8 @@ def execute_report(
     attempts = {name: 0 for name in by_name}
     outcomes: dict[str, SectionOutcome] = {}
     incidents: list[dict] = []
+    timing: dict[str, float] = {}
+    tel = telemetry_active()
     pending = list(experiments)
     while pending:
         results, errors = _attempt_round(pending, ctx)
@@ -175,7 +208,7 @@ def execute_report(
             name = experiment.name
             attempts[name] += 1
             if name in results:
-                outcomes[name] = results[name]
+                outcomes[name], timing[name] = results[name]
                 continue
             error = errors[name]
             kind, retryable = _classify(error)
@@ -190,6 +223,10 @@ def execute_report(
                     "retried": will_retry,
                 }
             )
+            if tel is not None:
+                tel.inc("runner_section_failures_total", kind=kind)
+                if will_retry:
+                    tel.inc("runner_retries_total")
             if will_retry:
                 retry.append(experiment)
                 continue
@@ -203,9 +240,13 @@ def execute_report(
                 tags=tuple(sorted(experiment.tags)),
             )
         pending = retry
+    if tel is not None:
+        tel.inc("runner_sections_total", len(experiments))
+        tel.flush()
     return RunReport(
         outcomes=[outcomes[experiment.name] for experiment in experiments],
         incidents=incidents,
+        timing=timing,
     )
 
 
@@ -278,6 +319,8 @@ def write_results(
     incidents: list[dict] | None = None,
     corpus_events: list[dict] | None = None,
     check: dict | None = None,
+    timing: dict[str, float] | None = None,
+    telemetry: str | None = None,
 ) -> list[str]:
     """Persist one ``<name>.json`` per section plus an ``index.json``.
 
@@ -291,6 +334,13 @@ def write_results(
     fault?" — all three are empty lists on a clean run.  When the run
     was gated, ``check`` embeds the gate's verdict and every drifted
     metric under the index's ``"check"`` key.
+
+    ``timing`` (per-section wall seconds) and ``telemetry`` (the sink
+    directory) populate the index's observability stanza; both are
+    ``null`` unless the run opted into telemetry, which keeps the
+    default index byte-identical across runs — timing keys are also on
+    the check gate's ignore list, so a gated telemetry run never fails
+    on wall-clock drift.
     """
     os.makedirs(directory, exist_ok=True)
     paths: list[str] = []
@@ -301,6 +351,7 @@ def write_results(
             handle.write("\n")
         paths.append(path)
     index = {
+        "schema": INDEX_SCHEMA,
         "profile": profile,
         "sections": [
             {
@@ -325,6 +376,14 @@ def write_results(
         ],
         "incidents": list(incidents or ()),
         "corpus_events": list(corpus_events or ()),
+        # Observability stanza: null unless the run opted into telemetry
+        # (default runs must stay byte-identical across invocations).
+        "timing": (
+            {name: round(seconds, 6) for name, seconds in sorted(timing.items())}
+            if timing
+            else None
+        ),
+        "telemetry": telemetry,
     }
     if check is not None:
         index["check"] = check

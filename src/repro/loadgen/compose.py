@@ -38,6 +38,8 @@ from repro.loadgen.arrivals import timelines
 from repro.loadgen.schema import LoadScenario
 from repro.memory.cache import TagOnlyCache
 from repro.memory.hierarchy import WESTMERE, HierarchyConfig
+from repro.telemetry.runtime import active as telemetry_active
+from repro.telemetry.runtime import span as telemetry_span
 from repro.traces import recorder
 from repro.traces.registry import TraceScenarioSpec, corpus_spec
 from repro.workloads.generator import (
@@ -176,6 +178,24 @@ def run_composed(
     and shard splits never tear an allocation cluster); the accounting
     is identical with or without it.
     """
+    with telemetry_span(
+        "loadgen/compose",
+        scenario=load.name,
+        tenants=load.tenants,
+        duration_s=load.duration_s,
+    ) as tspan:
+        result = _run_composed(load, config, sink, scenario)
+        tspan.set("alloc_events", result.alloc_events)
+        tspan.set("instructions", result.instructions)
+    return result
+
+
+def _run_composed(
+    load: LoadScenario,
+    config: HierarchyConfig,
+    sink,
+    scenario: Scenario | None,
+) -> RunResult:
     tenant_profiles = apportion_tenants(load)
     tenant_times = timelines(load)
     merged_streams = []
@@ -199,6 +219,13 @@ def run_composed(
             f"load scenario {load.name!r} produced no arrivals "
             f"(rate {load.arrival.lambda_per_s:g}/s over "
             f"{load.duration_s:g}s)"
+        )
+    tel = telemetry_active()
+    if tel is not None:
+        tel.inc(
+            "loadgen_arrivals_total",
+            sum(len(stream) for stream in merged_streams),
+            scenario=load.name,
         )
 
     l1 = TagOnlyCache(config.l1_geometry)

@@ -117,6 +117,7 @@ class LruTagKernel:
 
     __slots__ = (
         "geometry", "accesses", "hits", "misses",
+        "rounds", "tail_accesses",
         "_line_size", "_num_sets", "_associativity",
         "_way_lines", "_way_stamps", "_clock",
     )
@@ -139,6 +140,13 @@ class LruTagKernel:
         self.accesses = 0
         self.hits = 0
         self.misses = 0
+        #: Instrumentation: cumulative vectorized (rank, kind) round
+        #: groups executed, and accesses that fell to the per-set Python
+        #: tail — their ratio is the batch algorithm's "tail fraction",
+        #: the telemetry layer's vectorization-health signal.  Two int
+        #: adds per batch; kept unconditional.
+        self.rounds = 0
+        self.tail_accesses = 0
 
     def access_block(self, addresses):
         """Touch every address in order; return the miss mask.
@@ -280,6 +288,7 @@ class LruTagKernel:
             bounds = np.flatnonzero(key_sorted[1:] != key_sorted[:-1]) + 1
             group_starts = np.append(0, bounds).tolist()
             group_ends = np.append(bounds, key_sorted.size).tolist()
+            self.rounds += len(group_starts)
             way_columns = np.arange(associativity)
             flat_lines = way_lines.reshape(-1)
             flat_stamps = way_stamps.reshape(-1)
@@ -329,6 +338,7 @@ class LruTagKernel:
             ):
                 set_id = int(seg_sets[first_segment])
                 start = int(seg_starts[first_segment])
+                self.tail_accesses += int(seg_ends[last_segment]) - start
                 row = way_lines[set_id].tolist()
                 stamps = way_stamps[set_id].tolist()
                 for offset, line in enumerate(
@@ -400,6 +410,35 @@ class LadderKernel:
         self.l2.reset_counters()
         if self.l3 is not None:
             self.l3.reset_counters()
+
+    @property
+    def levels(self) -> tuple:
+        """The live kernel levels as ``(name, kernel)`` pairs."""
+        pairs = [("l1", self.l1), ("l2", self.l2)]
+        if self.l3 is not None:
+            pairs.append(("l3", self.l3))
+        return tuple(pairs)
+
+    def instrumentation(self) -> dict:
+        """Per-level batch-algorithm health: rounds and tail fraction.
+
+        ``tail_accesses`` / ``accesses`` is the share of the touch
+        stream that fell out of the vectorized rounds into the per-set
+        Python tail (``accesses`` here counts from the last counter
+        reset, so a warmed replay reports the measured region — the
+        fraction is a health signal, not an accounting quantity).
+        """
+        report = {}
+        for name, level in self.levels:
+            accesses = level.accesses
+            report[name] = {
+                "rounds": level.rounds,
+                "tail_accesses": level.tail_accesses,
+                "tail_fraction": (
+                    level.tail_accesses / accesses if accesses else 0.0
+                ),
+            }
+        return report
 
 
 def expand_touches(kinds, addresses, args):

@@ -1,0 +1,135 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+One :class:`MetricsRegistry` lives per process (owned by the telemetry
+runtime, :mod:`repro.telemetry.runtime`).  Series are keyed by
+``(name, labels)``; the registry never allocates anything on the read
+path of a disabled run — instruments exist only while telemetry is on.
+
+The registry is deliberately tiny: plain dicts, no background threads,
+no dependency beyond the standard library.  Snapshots are cumulative
+per process; the exporter (:mod:`repro.telemetry.export`) merges the
+*last* snapshot of every process, so flushing repeatedly is safe.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Default histogram bucket upper bounds (seconds-flavoured, spanning
+#: 100 µs batch kernels to minutes-scale sections).  The implicit
+#: +inf bucket is the final ``counts`` slot.
+DEFAULT_BUCKETS = (
+    0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
+)
+
+
+def series_key(name: str, labels: dict[str, object] | None) -> str:
+    """Canonical flat key for one series: ``name{k="v",...}``.
+
+    Prometheus exposition syntax, reused as the JSON object key in
+    ``metrics.json`` so both exports address series identically.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
+class _Histogram:
+    __slots__ = ("buckets", "counts", "total", "count", "low", "high")
+
+    def __init__(self, buckets: tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.low = float("inf")
+        self.high = float("-inf")
+
+    def observe(self, value: float) -> None:
+        slot = 0
+        for bound in self.buckets:
+            if value <= bound:
+                break
+            slot += 1
+        self.counts[slot] += 1
+        self.total += value
+        self.count += 1
+        if value < self.low:
+            self.low = value
+        if value > self.high:
+            self.high = value
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+            "min": self.low,
+            "max": self.high,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms for one process.
+
+    All mutators take the metric name plus keyword labels::
+
+        registry.inc("decode_records_total", 4096, container="caltrc02")
+        registry.set_gauge("runner_jobs", 4)
+        registry.observe("section_seconds", 1.73, section="fig10")
+
+    Thread-safe via one lock; the hot paths call these once per *batch*
+    (thousands of records), so contention is negligible.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, _Histogram] = {}
+
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        key = series_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        key = series_key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels,
+    ) -> None:
+        key = series_key(name, labels)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = _Histogram(buckets)
+            histogram.observe(value)
+
+    def snapshot(self) -> dict:
+        """Cumulative state of every series, JSON-ready."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    key: histogram.to_dict()
+                    for key, histogram in self._histograms.items()
+                },
+            }
+
+    def __bool__(self) -> bool:
+        with self._lock:
+            return bool(
+                self._counters or self._gauges or self._histograms
+            )

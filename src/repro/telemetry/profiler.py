@@ -1,0 +1,90 @@
+"""Opt-in per-section cProfile hooks: ``repro run --profile-sections``.
+
+Profiling rides on the telemetry runtime: each profiled scope dumps raw
+``pstats`` under ``<telemetry dir>/profiles/`` and appends a
+``type: "profile"`` record — the top-N cumulative hotspots — to the
+span log, where the exporters and ``repro telemetry summarize`` pick it
+up.  Without an active telemetry sink the context manager is a no-op,
+so the hooks obey the same zero-overhead-when-off contract as every
+other instrument.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import re
+from contextlib import contextmanager
+
+from repro.telemetry.runtime import active
+
+#: Hotspots reported per profiled scope.
+PROFILE_TOP_N = 10
+
+#: Subdirectory (inside the telemetry sink) for raw pstats dumps.
+PROFILES_DIR = "profiles"
+
+
+def _safe_name(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name) or "scope"
+
+
+def top_hotspots(
+    profiler: cProfile.Profile, limit: int = PROFILE_TOP_N
+) -> list[dict]:
+    """The profiler's top functions by cumulative time, JSON-shaped."""
+    stats = pstats.Stats(profiler)
+    rows = []
+    for func, (calls, _primitive, tottime, cumtime, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        filename, line, name = func
+        location = (
+            name if filename == "~" else f"{filename}:{line}({name})"
+        )
+        rows.append(
+            {
+                "function": location,
+                "calls": calls,
+                "tottime_s": tottime,
+                "cumtime_s": cumtime,
+            }
+        )
+    rows.sort(key=lambda row: row["cumtime_s"], reverse=True)
+    return rows[:limit]
+
+
+@contextmanager
+def profiled_section(name: str, enabled: bool = True):
+    """Profile one section under cProfile when telemetry is active.
+
+    Dumps ``profiles/<name>.pstats`` into the telemetry sink and
+    appends the hotspot record to the span log.  ``enabled=False`` (or
+    no active telemetry) yields straight through with no profiler
+    installed.
+    """
+    tel = active()
+    if not enabled or tel is None:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        directory = os.path.join(tel.directory, PROFILES_DIR)
+        os.makedirs(directory, exist_ok=True)
+        stats_path = os.path.join(directory, f"{_safe_name(name)}.pstats")
+        profiler.dump_stats(stats_path)
+        tel.tracer.write_record(
+            {
+                "type": "profile",
+                "section": name,
+                "pid": os.getpid(),
+                "stats_path": stats_path,
+                "hotspots": top_hotspots(profiler),
+            }
+        )
+        tel.flush()

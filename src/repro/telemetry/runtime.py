@@ -1,0 +1,180 @@
+"""Telemetry activation: environment-driven, zero overhead when off.
+
+One environment variable is the whole switch: ``REPRO_TELEMETRY=<dir>``
+activates telemetry with that directory as the sink.  Using the
+environment (rather than a passed-around handle) is deliberate — the
+experiment runner and the replayer fan work out over
+``ProcessPoolExecutor`` workers, which inherit the parent's
+environment, so every process in a run writes into the same span log
+without any instrumented API growing a ``telemetry=`` parameter.
+
+Hot paths gate on :func:`active`::
+
+    tel = active()
+    if tel is not None:
+        tel.inc("decode_records_total", len(batch))
+
+which costs one ``os.environ`` lookup per *batch* when telemetry is
+off — nothing is allocated, opened or imported.  The module-level
+:func:`span` context manager is the same gate in scope form.
+
+All processes append to one ``spans.jsonl`` (atomic ``O_APPEND`` line
+writes); each process also appends cumulative metric snapshots
+(``type: "metrics"`` records with a monotonic ``seq``) at every flush,
+and the exporter keeps the last snapshot per process.  Worker entry
+points flush explicitly at task end because forked pool children exit
+via ``os._exit`` — ``atexit`` never runs there.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+from contextlib import contextmanager
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import NULL_SPAN, SpanTracer
+
+#: The activation switch: set to a directory path to enable telemetry.
+ENV_DIR = "REPRO_TELEMETRY"
+
+#: Span-log filename inside the telemetry directory.
+SPAN_LOG_NAME = "spans.jsonl"
+
+
+class Telemetry:
+    """One process's telemetry handle: a registry plus a span tracer."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.registry = MetricsRegistry()
+        self.tracer = SpanTracer(os.path.join(directory, SPAN_LOG_NAME))
+        self._snapshot_seq = 0
+
+    # -- instruments ---------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        self.registry.inc(name, value, **labels)
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        self.registry.set_gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        self.registry.observe(name, value, **labels)
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        span = self.tracer.start(name, attrs)
+        try:
+            yield span
+        finally:
+            self.tracer.finish(span)
+
+    # -- persistence ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Append this process's cumulative metric snapshot + any
+        buffered spans.  Safe to call repeatedly: snapshots carry a
+        monotonic ``seq`` and the exporter keeps the last per pid."""
+        if self.registry:
+            self._snapshot_seq += 1
+            self.tracer.write_record(
+                {
+                    "type": "metrics",
+                    "pid": os.getpid(),
+                    "seq": self._snapshot_seq,
+                    "ts": time.time(),
+                    "metrics": self.registry.snapshot(),
+                }
+            )
+        self.tracer.flush()
+
+    def close(self) -> None:
+        self.flush()
+        self.tracer.close()
+
+
+_active: Telemetry | None = None
+_atexit_registered = False
+
+
+def active() -> Telemetry | None:
+    """The process's telemetry handle, or ``None`` when disabled.
+
+    Resolution is by environment on every call, so enabling or moving
+    the sink between runs (tests, long-lived sessions) needs no cache
+    invalidation; the disabled path is one dict lookup.
+    """
+    global _active, _atexit_registered
+    directory = os.environ.get(ENV_DIR)
+    if not directory:
+        return None
+    if _active is None or _active.directory != directory:
+        _active = Telemetry(directory)
+        if not _atexit_registered:
+            _atexit_registered = True
+            atexit.register(_atexit_flush)
+    return _active
+
+
+def _atexit_flush() -> None:
+    if _active is not None:
+        _active.close()
+
+
+def configure(directory: str, fresh: bool = False) -> Telemetry:
+    """Enable telemetry for this process *and its children* by setting
+    :data:`ENV_DIR`.  ``fresh`` truncates an existing span log, so an
+    explicitly requested run starts a clean capture."""
+    os.makedirs(directory, exist_ok=True)
+    if fresh:
+        log = os.path.join(directory, SPAN_LOG_NAME)
+        if os.path.exists(log):
+            os.remove(log)
+    os.environ[ENV_DIR] = directory
+    handle = active()
+    assert handle is not None
+    return handle
+
+
+def shutdown() -> None:
+    """Flush and disable (primarily for tests): drops the env switch."""
+    global _active
+    if _active is not None:
+        _active.close()
+        _active = None
+    os.environ.pop(ENV_DIR, None)
+
+
+def flush() -> None:
+    """Flush the active handle, if any (worker task boundaries)."""
+    if _active is not None:
+        _active.flush()
+
+
+@contextmanager
+def span(name: str, **attrs):
+    """Module-level span scope: a real span when telemetry is active,
+    :data:`~repro.telemetry.spans.NULL_SPAN` otherwise."""
+    tel = active()
+    if tel is None:
+        yield NULL_SPAN
+        return
+    with tel.span(name, **attrs) as open_span:
+        yield open_span
+
+
+def traced(name: str, **attrs):
+    """Decorator form of :func:`span`."""
+
+    def decorate(func):
+        def wrapper(*args, **kwargs):
+            with span(name, **attrs):
+                return func(*args, **kwargs)
+
+        wrapper.__name__ = getattr(func, "__name__", "wrapper")
+        wrapper.__doc__ = func.__doc__
+        return wrapper
+
+    return decorate

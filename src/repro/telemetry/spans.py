@@ -1,0 +1,160 @@
+"""The span tracer: timed scopes appended to a JSONL span log.
+
+A *span* is one named, timed scope — a section, a replay pass, a corpus
+recording — opened as a context manager (or via the :func:`traced`
+decorator) and written as a single JSON line when it closes.  Records
+carry the process id, a per-process sequence number and the enclosing
+span's sequence number, so a run's log reconstructs into per-process
+trees even when experiment workers and the parent interleave writes.
+
+Every line lands through one ``O_APPEND`` write, which POSIX keeps
+contiguous for regular files — concurrent writers (pool workers sharing
+the log) can interleave *lines* but never tear one.
+
+Span record schema (``repro-span/v1``)::
+
+    {"type": "span", "name": "...", "pid": 1234, "id": 7, "parent": 3,
+     "ts": 1754640000.1, "duration_s": 0.0421, "attrs": {...}}
+
+Metric-snapshot records (``type: "metrics"``) share the file; see
+:mod:`repro.telemetry.runtime`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+#: Schema id stamped into exported documents that embed span records.
+SPAN_SCHEMA = "repro-span/v1"
+
+#: Keys every span record must carry (the validation contract).
+SPAN_REQUIRED_KEYS = (
+    "type", "name", "pid", "id", "parent", "ts", "duration_s", "attrs",
+)
+
+#: Buffered lines before an automatic flush.
+_FLUSH_EVERY = 128
+
+
+class Span:
+    """One open scope.  ``set(key, value)`` attaches attributes computed
+    inside the scope (record counts, engines) before the span closes."""
+
+    __slots__ = ("name", "attrs", "_started", "_sequence", "_parent")
+
+    def __init__(self, name: str, attrs: dict, sequence: int, parent):
+        self.name = name
+        self.attrs = attrs
+        self._sequence = sequence
+        self._parent = parent
+        self._started = time.perf_counter()
+
+    def set(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+
+class _NullSpan:
+    """The disabled-telemetry stand-in: accepts ``set()`` and vanishes."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanTracer:
+    """Writes span records for one process into a shared JSONL log."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._sequence = 0
+        self._buffer: list[str] = []
+        self._fd: int | None = None
+
+    # -- the scope API -----------------------------------------------------
+
+    def start(self, name: str, attrs: dict) -> Span:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        with self._lock:
+            self._sequence += 1
+            sequence = self._sequence
+        parent = stack[-1]._sequence if stack else None
+        span = Span(name, attrs, sequence, parent)
+        stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        duration = time.perf_counter() - span._started
+        stack = self._local.stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        self.write_record(
+            {
+                "type": "span",
+                "name": span.name,
+                "pid": os.getpid(),
+                "id": span._sequence,
+                "parent": span._parent,
+                "ts": time.time() - duration,
+                "duration_s": duration,
+                "attrs": span.attrs,
+            }
+        )
+
+    # -- the line writer -----------------------------------------------------
+
+    def write_record(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            self._buffer.append(line)
+            if len(self._buffer) >= _FLUSH_EVERY:
+                self._flush_locked()
+
+    def flush(self) -> None:
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if not self._buffer:
+            return
+        if self._fd is None:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        payload = "".join(self._buffer).encode()
+        self._buffer.clear()
+        os.write(self._fd, payload)
+
+    def close(self) -> None:
+        with self._lock:
+            self._flush_locked()
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+
+def validate_span_record(record: dict) -> list[str]:
+    """Schema-check one span record; returns problem descriptions."""
+    problems = []
+    for key in SPAN_REQUIRED_KEYS:
+        if key not in record:
+            problems.append(f"span record missing key {key!r}")
+    if record.get("type") != "span":
+        problems.append(f"not a span record: type={record.get('type')!r}")
+    if not isinstance(record.get("attrs", {}), dict):
+        problems.append("span attrs is not an object")
+    for key in ("ts", "duration_s"):
+        if key in record and not isinstance(record[key], (int, float)):
+            problems.append(f"span {key} is not numeric")
+    return problems

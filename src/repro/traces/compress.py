@@ -43,6 +43,7 @@ import struct
 import zlib
 from typing import BinaryIO, Iterator
 
+from repro.telemetry.runtime import active as telemetry_active
 from repro.traces.format import (
     EV_EPOCH,
     MAGIC,
@@ -604,6 +605,15 @@ def _decode_group(np, reader, group):
     columns = _decode_frames_fast(
         np, streams, [record_count for _, record_count, _ in group]
     )
+    tel = telemetry_active()
+    if tel is not None:
+        tel.inc("decode_frames_total", len(group))
+        tel.inc(
+            "decode_records_total",
+            sum(record_count for _, record_count, _ in group),
+        )
+        if columns is None:
+            tel.inc("decode_scalar_fallback_total", len(group))
     if columns is not None:
         return columns
     parts = []

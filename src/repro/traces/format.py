@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING, BinaryIO, Iterator
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy
 
+from repro.telemetry.runtime import active as telemetry_active
 from repro.workloads.generator import (  # noqa: F401  (re-exported)
     EV_ALLOC,
     EV_CFORM,
@@ -461,6 +462,9 @@ class TraceReader:
                         "record address exceeds the columnar engine's "
                         "int64 range", offset=position,
                     )
+                tel = telemetry_active()
+                if tel is not None:
+                    tel.inc("decode_records_total", stop, format="v1")
                 yield RecordColumns(
                     kind=np.ascontiguousarray(batch["kind"]),
                     address=addresses.astype(np.int64),

@@ -67,6 +67,9 @@ from repro.memory.kernel import (
     require_numpy,
 )
 from repro.memory.multicore import PrivateLadder, SharedL3, SharedL3Kernel
+from repro.telemetry.runtime import active as telemetry_active
+from repro.telemetry.runtime import flush as telemetry_flush
+from repro.telemetry.runtime import span as telemetry_span
 from repro.traces.format import (
     EV_ALLOC,
     EV_CFORM,
@@ -149,6 +152,22 @@ class MergedReplay:
 
     shards: int
     stats: ShardStats
+
+
+def _report_ladder(ladder) -> None:
+    """Feed a finished ladder's batch-algorithm health into telemetry.
+
+    Reported per level: vectorized rounds executed, accesses that fell
+    to the per-set Python tail, and total accesses (the tail-fraction
+    denominator).  No-op without an active telemetry sink.
+    """
+    tel = telemetry_active()
+    if tel is None:
+        return
+    for name, level in ladder.levels:
+        tel.inc("kernel_rounds_total", level.rounds, level=name)
+        tel.inc("kernel_tail_accesses_total", level.tail_accesses, level=name)
+        tel.inc("kernel_accesses_total", level.accesses, level=name)
 
 
 def _amat_cycles(config: HierarchyConfig, events: MemoryEventCounts) -> int:
@@ -327,6 +346,7 @@ def _replay_timing_columns(
                 touches = 0
                 cform_lines = 0
                 alloc_events = 0
+    _report_ladder(ladder)
     events = MemoryEventCounts(
         l1_accesses=ladder.l1.accesses,
         l1_misses=ladder.l1.misses,
@@ -367,11 +387,13 @@ def replay_timing(
     for shard files use :func:`replay_shards` (region accounting).
     """
     engine = resolve_engine(engine)
-    with TraceReader(source) as reader:
+    with telemetry_span("replay/timing", engine=engine) as tspan, \
+            TraceReader(source) as reader:
         if engine == "columnar":
             stats = _replay_timing_columns(reader)
         else:
             stats = _replay_timing_stream(reader)
+        tspan.set("touches", stats.touches)
         footer = reader.read_footer()
         if "benchmark" not in footer:
             kind = footer.get("kind", "unknown")
@@ -586,11 +608,14 @@ def _replay_hierarchy_columns(
 def replay_hierarchy(source, engine: str | None = None) -> ShardStats:
     """Full-fidelity replay: data movement, exceptions, AMAT cycles."""
     engine = resolve_engine(engine)
-    with TraceReader(source) as reader:
+    with telemetry_span("replay/hierarchy", engine=engine) as tspan, \
+            TraceReader(source) as reader:
         if engine == "columnar":
             stats = _replay_hierarchy_columns(reader)
         else:
             stats = _replay_hierarchy_stream(reader)
+        tspan.set("touches", stats.touches)
+        tspan.set("violations", stats.violations)
         reader.read_footer()
     return stats
 
@@ -690,6 +715,9 @@ def _replay_shard_worker(task: tuple[str, str, str]) -> ShardStats:
     with TraceReader(shard_path) as reader:
         stats = replay_stream(reader, honor_warm=False)
         reader.read_footer()
+    # Pool children exit via os._exit (no atexit), so any metrics this
+    # worker accumulated must hit the span log before the task returns.
+    telemetry_flush()
     return stats
 
 
@@ -717,14 +745,20 @@ def replay_shards(
         raise ValueError("no shard files to replay")
     engine = resolve_engine(engine)
     tasks = [(path, mode, engine) for path in shard_paths]
-    if jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            results = list(pool.map(_replay_shard_worker, tasks))
-    else:
-        results = [_replay_shard_worker(task) for task in tasks]
-    merged = results[0]
-    for stats in results[1:]:
-        merged = merged.merged_with(stats)
+    with telemetry_span(
+        "replay/shards",
+        shards=len(tasks), jobs=jobs, mode=mode, engine=engine,
+    ) as tspan:
+        if jobs > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = list(pool.map(_replay_shard_worker, tasks))
+        else:
+            results = [_replay_shard_worker(task) for task in tasks]
+        with telemetry_span("replay/shards/merge", shards=len(results)):
+            merged = results[0]
+            for stats in results[1:]:
+                merged = merged.merged_with(stats)
+        tspan.set("touches", merged.touches)
     return MergedReplay(shards=len(results), stats=merged)
 
 
@@ -868,7 +902,9 @@ def _filter_core_stream(
 def _filter_core_worker(task: tuple) -> _CoreFilter:
     """Process-pool entry point for phase 1 (paths only)."""
     core, cores, paths, config = task
-    return _filter_core_stream(core, cores, paths, config)
+    filtered = _filter_core_stream(core, cores, paths, config)
+    telemetry_flush()  # pool children exit without atexit
+    return filtered
 
 
 @dataclass(frozen=True)
@@ -974,6 +1010,7 @@ def _filter_core_columns(
             reader.read_footer()
     if ladder is None:  # no sources for this core
         raise ValueError(f"core {core} has no trace sources")
+    _report_ladder(ladder)
     if slot_blocks:
         slots = np.concatenate(slot_blocks)
         addresses = np.concatenate(address_blocks)
@@ -996,7 +1033,9 @@ def _filter_core_columns(
 def _filter_core_columns_worker(task: tuple) -> _CoreFilterColumns:
     """Process-pool entry point for columnar phase 1 (paths only)."""
     core, cores, paths, config = task
-    return _filter_core_columns(core, cores, paths, config)
+    filtered = _filter_core_columns(core, cores, paths, config)
+    telemetry_flush()  # pool children exit without atexit
+    return filtered
 
 
 def _merge_shared_columns(
@@ -1078,46 +1117,54 @@ def replay_multicore(
         if engine == "columnar"
         else _filter_core_worker
     )
-    if jobs > 1:
-        if not all(
-            isinstance(source, str)
-            for sources in normalized
-            for source in sources
-        ):
-            raise ValueError(
-                "jobs > 1 requires path sources (file objects cannot "
-                "cross process boundaries)"
-            )
-        with ProcessPoolExecutor(max_workers=min(jobs, cores)) as pool:
-            filters = list(pool.map(worker, tasks))
-    else:
-        filters = [worker(task) for task in tasks]
-    resolved = filters[0].config
-    for core, filtered in enumerate(filters):
-        if filtered.config != resolved:
-            raise TraceFormatError(
-                f"core {core} was recorded under a different hierarchy "
-                "configuration; pass an explicit config override"
-            )
+    with telemetry_span(
+        "replay/mc", cores=cores, jobs=jobs, engine=engine
+    ) as tspan:
+        if jobs > 1:
+            if not all(
+                isinstance(source, str)
+                for sources in normalized
+                for source in sources
+            ):
+                raise ValueError(
+                    "jobs > 1 requires path sources (file objects cannot "
+                    "cross process boundaries)"
+                )
+            with ProcessPoolExecutor(max_workers=min(jobs, cores)) as pool:
+                filters = list(pool.map(worker, tasks))
+        else:
+            filters = [worker(task) for task in tasks]
+        resolved = filters[0].config
+        for core, filtered in enumerate(filters):
+            if filtered.config != resolved:
+                raise TraceFormatError(
+                    f"core {core} was recorded under a different hierarchy "
+                    "configuration; pass an explicit config override"
+                )
 
-    # Phase 2: deterministic serial merge into the shared L3.  Slots are
-    # unique (slot % cores == core), so the merge order is total and
-    # heapq.merge keeps each core's own entries in stream order.
-    if engine == "columnar":
-        shared_misses = _merge_shared_columns(resolved, cores, filters)
-    else:
-        shared = SharedL3(resolved, cores)
-        shared_access = shared.access
-        reset_core = shared.reset_core
-        for slot, address in heapq.merge(
-            *(filtered.entries for filtered in filters), key=itemgetter(0)
-        ):
-            core = slot % cores
-            if address == _WARM_RESET:
-                reset_core(core)
+        # Phase 2: deterministic serial merge into the shared L3.  Slots
+        # are unique (slot % cores == core), so the merge order is total
+        # and heapq.merge keeps each core's own entries in stream order.
+        with telemetry_span("replay/mc/merge", cores=cores):
+            if engine == "columnar":
+                shared_misses = _merge_shared_columns(
+                    resolved, cores, filters
+                )
             else:
-                shared_access(core, address)
-        shared_misses = shared.misses
+                shared = SharedL3(resolved, cores)
+                shared_access = shared.access
+                reset_core = shared.reset_core
+                for slot, address in heapq.merge(
+                    *(filtered.entries for filtered in filters),
+                    key=itemgetter(0),
+                ):
+                    core = slot % cores
+                    if address == _WARM_RESET:
+                        reset_core(core)
+                    else:
+                        shared_access(core, address)
+                shared_misses = shared.misses
+        tspan.set("touches", sum(f.touches for f in filters))
 
     per_core: list[ShardStats] = []
     for core, filtered in enumerate(filters):

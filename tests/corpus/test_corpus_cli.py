@@ -64,6 +64,32 @@ def test_verify_ok_then_fails_on_corruption(root, capsys):
     assert "FAIL" in capsys.readouterr().err
 
 
+def test_verify_surfaces_the_heal_ledger(root, capsys):
+    main(["--root", root, "build", "--scenario", "server-churn", *ARGS])
+    store = CorpusStore(root)
+    (entry,) = store.manifest().entries.values()
+    with open(store.object_path(entry.digest), "r+b") as handle:
+        handle.seek(40)
+        handle.write(b"\x00\x00\x00\x00")
+    capsys.readouterr()
+
+    assert main(["--root", root, "verify", "--repair"]) == 0
+    out = capsys.readouterr().out
+    assert "heal ledger: 1 event(s), 1 quarantined file(s)" in out
+    assert "server-churn: 1 event(s)" in out
+
+    # The summary persists: a later clean verify still reports it.
+    assert main(["--root", root, "verify"]) == 0
+    assert "heal ledger: 1 event(s)" in capsys.readouterr().out
+
+
+def test_clean_verify_prints_no_ledger_line(root, capsys):
+    main(["--root", root, "build", "--scenario", "server-churn", *ARGS])
+    capsys.readouterr()
+    assert main(["--root", root, "verify"]) == 0
+    assert "heal ledger" not in capsys.readouterr().out
+
+
 def test_gc_reports_removals(root, capsys):
     main(["--root", root, "build", "--scenario", "server-churn", *ARGS])
     store = CorpusStore(root)

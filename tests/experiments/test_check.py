@@ -54,6 +54,23 @@ class TestDiffData:
         )
         assert drifts == []
 
+    def test_timing_and_telemetry_keys_are_ignored_by_default(self):
+        # The observability stanza (wall-clock + sink path) must never
+        # gate a run: a telemetry-enabled run drifts on every timing
+        # key by construction.
+        for key in ("timing", "telemetry", "seconds", "duration_s",
+                    "elapsed_s", "wall_s"):
+            assert key in DEFAULT_IGNORE_KEYS
+        drifts = diff_data(
+            {"metric": 5, "timing": {"fig03": 0.01}, "telemetry": None,
+             "seconds": 1.0},
+            {"metric": 5, "timing": {"fig03": 9.99},
+             "telemetry": "results/telemetry", "seconds": 2.0},
+            Tolerances(),
+            "s",
+        )
+        assert drifts == []
+
     def test_per_metric_tolerance_budget_is_honoured(self):
         tolerances = Tolerances(metrics={"noisy": {"rel_tol": 0.10}})
         within = diff_data({"noisy": 100.0}, {"noisy": 109.0}, tolerances, "s")

@@ -1,0 +1,17 @@
+"""Shared telemetry-test hygiene.
+
+Telemetry activation is a process-global environment switch
+(``$REPRO_TELEMETRY``), so every test starts and ends disabled —
+a leaked sink would silently instrument unrelated tests.
+"""
+
+import pytest
+
+from repro.telemetry import runtime
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    runtime.shutdown()
+    yield
+    runtime.shutdown()

@@ -1,0 +1,193 @@
+"""Exporters: snapshot merging, metrics.json, Prometheus text, export_run."""
+
+import json
+import os
+
+from repro.telemetry.export import (
+    METRICS_SCHEMA,
+    export_run,
+    merge_snapshots,
+    metrics_document,
+    prometheus_text,
+    read_span_log,
+    summarize_spans,
+    validate_metrics_document,
+    validate_span_log,
+)
+from repro.telemetry.runtime import SPAN_LOG_NAME
+
+
+def snapshot(pid, seq, counters=None, gauges=None, histograms=None):
+    return {
+        "type": "metrics",
+        "pid": pid,
+        "seq": seq,
+        "ts": 0.0,
+        "metrics": {
+            "counters": counters or {},
+            "gauges": gauges or {},
+            "histograms": histograms or {},
+        },
+    }
+
+
+def span(name, duration, pid=1, sid=1):
+    return {
+        "type": "span", "name": name, "pid": pid, "id": sid,
+        "parent": None, "ts": 0.0, "duration_s": duration, "attrs": {},
+    }
+
+
+def write_log(path, records):
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+class TestReadSpanLog:
+    def test_keeps_only_the_highest_seq_snapshot_per_pid(self, tmp_path):
+        path = str(tmp_path / SPAN_LOG_NAME)
+        write_log(path, [
+            snapshot(10, 1, {"hits_total": 1}),
+            snapshot(10, 3, {"hits_total": 9}),
+            snapshot(10, 2, {"hits_total": 5}),
+            snapshot(20, 1, {"hits_total": 2}),
+        ])
+        log = read_span_log(path)
+        assert log.snapshots[10]["metrics"]["counters"]["hits_total"] == 9
+        assert log.snapshots[20]["metrics"]["counters"]["hits_total"] == 2
+
+    def test_counts_malformed_lines_instead_of_raising(self, tmp_path):
+        path = str(tmp_path / SPAN_LOG_NAME)
+        with open(path, "w") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps({"type": "mystery"}) + "\n")
+            handle.write(json.dumps(span("ok", 0.1)) + "\n")
+        log = read_span_log(path)
+        assert log.malformed == 2
+        assert len(log.spans) == 1
+
+    def test_missing_log_reads_as_empty(self, tmp_path):
+        log = read_span_log(str(tmp_path / "absent.jsonl"))
+        assert log.spans == [] and log.snapshots == {}
+
+
+class TestMergeSnapshots:
+    def test_counters_sum_across_processes(self):
+        merged = merge_snapshots({
+            10: snapshot(10, 1, {"hits_total": 3}),
+            20: snapshot(20, 1, {"hits_total": 4}),
+        })
+        assert merged["counters"]["hits_total"] == 7
+
+    def test_gauges_last_writer_wins_in_pid_order(self):
+        merged = merge_snapshots({
+            20: snapshot(20, 1, gauges={"jobs": 4}),
+            10: snapshot(10, 1, gauges={"jobs": 2}),
+        })
+        assert merged["gauges"]["jobs"] == 4
+
+    def test_histograms_merge_bucket_wise(self):
+        histogram = lambda counts, total, count, low, high: {
+            "buckets": [1.0, 5.0], "counts": counts,
+            "sum": total, "count": count, "min": low, "max": high,
+        }
+        merged = merge_snapshots({
+            10: snapshot(10, 1, histograms={
+                "seconds": histogram([1, 0, 0], 0.5, 1, 0.5, 0.5),
+            }),
+            20: snapshot(20, 1, histograms={
+                "seconds": histogram([0, 1, 1], 9.0, 2, 2.0, 7.0),
+            }),
+        })
+        result = merged["histograms"]["seconds"]
+        assert result["counts"] == [1, 1, 1]
+        assert result["count"] == 3
+        assert result["sum"] == 9.5
+        assert (result["min"], result["max"]) == (0.5, 7.0)
+
+
+class TestMetricsDocument:
+    def test_document_validates_and_sorts_series(self, tmp_path):
+        path = str(tmp_path / SPAN_LOG_NAME)
+        write_log(path, [
+            snapshot(10, 1, {"b_total": 1, "a_total": 2}),
+            span("replay/timing", 0.25),
+            span("replay/timing", 0.75, sid=2),
+        ])
+        document = metrics_document(read_span_log(path))
+        assert validate_metrics_document(document) == []
+        assert document["schema"] == METRICS_SCHEMA
+        assert list(document["counters"]) == ["a_total", "b_total"]
+        row = document["spans"]["replay/timing"]
+        assert row["count"] == 2
+        assert row["total_s"] == 1.0
+        assert row["mean_s"] == 0.5
+        assert row["max_s"] == 0.75
+
+    def test_validation_reports_problems(self):
+        assert validate_metrics_document({}) != []
+        document = {
+            "schema": METRICS_SCHEMA, "counters": {}, "gauges": {},
+            "spans": {}, "processes": [],
+            "histograms": {"h": {"buckets": [1.0], "counts": [1]}},
+        }
+        problems = validate_metrics_document(document)
+        assert any("buckets + 1" in p for p in problems)
+
+
+class TestPrometheusText:
+    def test_counters_gauges_and_histograms_render(self):
+        document = {
+            "counters": {'decode_records_total{format="v1"}': 12.0},
+            "gauges": {"runner_jobs": 4.0},
+            "histograms": {
+                "section_seconds": {
+                    "buckets": [1.0], "counts": [2, 1],
+                    "sum": 3.5, "count": 3, "min": 0.1, "max": 2.0,
+                },
+            },
+        }
+        text = prometheus_text(document)
+        assert "# TYPE decode_records_total counter" in text
+        assert 'decode_records_total{format="v1"} 12' in text
+        assert "# TYPE runner_jobs gauge" in text
+        assert "runner_jobs 4" in text
+        assert "# TYPE section_seconds histogram" in text
+        assert 'section_seconds_bucket{le="1"} 2' in text
+        # cumulative: the +Inf bucket carries the full count
+        assert 'section_seconds_bucket{le="+Inf"} 3' in text
+        assert "section_seconds_sum 3.5" in text
+        assert "section_seconds_count 3" in text
+
+    def test_empty_document_renders_empty(self):
+        assert prometheus_text({}) == ""
+
+
+class TestExportRun:
+    def test_writes_the_three_artifacts(self, tmp_path):
+        directory = str(tmp_path / "tel")
+        os.makedirs(directory)
+        write_log(os.path.join(directory, SPAN_LOG_NAME), [
+            snapshot(10, 1, {"hits_total": 1}),
+            span("section/fig03", 0.01),
+        ])
+        paths = export_run(directory)
+        document = json.load(open(paths["metrics"]))
+        assert validate_metrics_document(document) == []
+        assert "# TYPE hits_total counter" in open(paths["prometheus"]).read()
+        summary = open(paths["summary"]).read()
+        assert "section/fig03" in summary
+        assert "hits_total" in summary
+
+    def test_validate_span_log_flags_bad_records(self, tmp_path):
+        path = str(tmp_path / SPAN_LOG_NAME)
+        bad = span("x", 0.1)
+        del bad["pid"]
+        write_log(path, [bad])
+        assert validate_span_log(path) != []
+
+
+class TestSummarizeSpans:
+    def test_empty_input_is_empty(self):
+        assert summarize_spans([]) == {}

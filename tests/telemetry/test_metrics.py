@@ -1,0 +1,88 @@
+"""The metrics registry: series keys, instruments, snapshots."""
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    series_key,
+)
+
+
+class TestSeriesKey:
+    def test_plain_name_without_labels(self):
+        assert series_key("decode_records_total", None) == "decode_records_total"
+        assert series_key("decode_records_total", {}) == "decode_records_total"
+
+    def test_labels_render_prometheus_syntax(self):
+        key = series_key("kernel_rounds_total", {"level": "l1"})
+        assert key == 'kernel_rounds_total{level="l1"}'
+
+    def test_label_order_is_canonical(self):
+        forward = series_key("m", {"a": 1, "b": 2})
+        backward = series_key("m", {"b": 2, "a": 1})
+        assert forward == backward == 'm{a="1",b="2"}'
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("hits_total")
+        registry.inc("hits_total", 4)
+        assert registry.snapshot()["counters"] == {"hits_total": 5}
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        registry.inc("rounds_total", 2, level="l1")
+        registry.inc("rounds_total", 3, level="l2")
+        counters = registry.snapshot()["counters"]
+        assert counters['rounds_total{level="l1"}'] == 2
+        assert counters['rounds_total{level="l2"}'] == 3
+
+
+class TestGauges:
+    def test_set_gauge_is_last_writer_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("jobs", 2)
+        registry.set_gauge("jobs", 4)
+        assert registry.snapshot()["gauges"] == {"jobs": 4}
+
+
+class TestHistograms:
+    def test_observation_lands_in_the_first_covering_bucket(self):
+        registry = MetricsRegistry()
+        registry.observe("seconds", 0.003)  # <= 0.005 (third bound)
+        histogram = registry.snapshot()["histograms"]["seconds"]
+        assert histogram["buckets"] == list(DEFAULT_BUCKETS)
+        assert len(histogram["counts"]) == len(DEFAULT_BUCKETS) + 1
+        assert histogram["counts"][2] == 1
+        assert sum(histogram["counts"]) == 1
+
+    def test_overflow_lands_in_the_implicit_inf_bucket(self):
+        registry = MetricsRegistry()
+        registry.observe("seconds", 10_000.0)
+        histogram = registry.snapshot()["histograms"]["seconds"]
+        assert histogram["counts"][-1] == 1
+
+    def test_sum_count_min_max(self):
+        registry = MetricsRegistry()
+        for value in (0.5, 1.5, 2.0):
+            registry.observe("seconds", value)
+        histogram = registry.snapshot()["histograms"]["seconds"]
+        assert histogram["count"] == 3
+        assert histogram["sum"] == 4.0
+        assert histogram["min"] == 0.5
+        assert histogram["max"] == 2.0
+
+
+class TestSnapshot:
+    def test_empty_registry_is_falsy(self):
+        registry = MetricsRegistry()
+        assert not registry
+        registry.inc("anything_total")
+        assert registry
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.inc("hits_total")
+        snapshot = registry.snapshot()
+        snapshot["counters"]["hits_total"] = 999
+        assert registry.snapshot()["counters"]["hits_total"] == 1

@@ -1,0 +1,114 @@
+"""Telemetry must never perturb the deterministic artifacts.
+
+The contract this PR-level invariant pins: ``results/<name>.json`` and
+``EXPERIMENTS.md`` are byte-identical whether a run carried a telemetry
+sidecar or not.  Only ``index.json`` may differ — its observability
+stanza (``timing``/``telemetry``) populates on telemetry runs and is
+``null`` otherwise — and the ``--check`` gate ignores those keys.
+"""
+
+import json
+import os
+
+from repro.cli import main
+from repro.experiments.runner import INDEX_SCHEMA
+from repro.telemetry.export import (
+    validate_metrics_document,
+    validate_span_log,
+)
+from repro.telemetry.runtime import ENV_DIR
+
+SECTIONS = ["fig03", "table1"]
+
+
+def run(tmp_path, tag, *extra):
+    base = tmp_path / tag
+    base.mkdir(parents=True, exist_ok=True)
+    output = base / "EXPERIMENTS.md"
+    results = base / "results"
+    code = main(
+        [
+            "run", *SECTIONS, "--no-corpus",
+            "--output", str(output),
+            "--results-dir", str(results),
+            *extra,
+        ]
+    )
+    assert code == 0
+    return output, results
+
+
+def test_results_identical_with_and_without_telemetry(tmp_path):
+    output_off, results_off = run(tmp_path, "off")
+    output_on, results_on = run(
+        tmp_path, "on", "--telemetry", str(tmp_path / "on" / "telemetry"),
+    )
+
+    assert output_off.read_bytes() == output_on.read_bytes()
+    for name in SECTIONS:
+        off = (results_off / f"{name}.json").read_bytes()
+        on = (results_on / f"{name}.json").read_bytes()
+        assert off == on, f"{name}.json changed under telemetry"
+
+
+def test_index_observability_stanza(tmp_path):
+    _, results_off = run(tmp_path, "off")
+    telemetry_dir = str(tmp_path / "on" / "telemetry")
+    _, results_on = run(tmp_path, "on", "--telemetry", telemetry_dir)
+
+    off = json.loads((results_off / "index.json").read_text())
+    on = json.loads((results_on / "index.json").read_text())
+    assert off["schema"] == on["schema"] == INDEX_SCHEMA
+    assert off["timing"] is None and off["telemetry"] is None
+    assert on["telemetry"] == telemetry_dir
+    assert set(on["timing"]) == set(SECTIONS)
+    assert all(seconds > 0 for seconds in on["timing"].values())
+
+
+def test_default_runs_stay_byte_identical_across_invocations(tmp_path):
+    _, first = run(tmp_path, "first")
+    _, second = run(tmp_path, "second")
+    assert (first / "index.json").read_bytes() == (
+        second / "index.json"
+    ).read_bytes()
+
+
+def test_telemetry_artifacts_validate_and_env_does_not_leak(tmp_path):
+    telemetry_dir = str(tmp_path / "on" / "telemetry")
+    run(tmp_path, "on", "--telemetry", telemetry_dir)
+
+    assert ENV_DIR not in os.environ  # the CLI restores the environment
+    problems = validate_span_log(os.path.join(telemetry_dir, "spans.jsonl"))
+    assert problems == []
+    document = json.load(open(os.path.join(telemetry_dir, "metrics.json")))
+    assert validate_metrics_document(document) == []
+    assert document["spans"], "run produced no spans"
+    assert any(
+        name.startswith("section/") for name in document["spans"]
+    )
+    prom = open(os.path.join(telemetry_dir, "metrics.prom")).read()
+    assert "# TYPE" in prom
+    assert os.path.exists(os.path.join(telemetry_dir, "TELEMETRY.md"))
+
+
+def test_no_telemetry_vetoes_the_flag(tmp_path):
+    telemetry_dir = tmp_path / "veto" / "telemetry"
+    _, results = run(
+        tmp_path, "veto", "--telemetry", str(telemetry_dir), "--no-telemetry",
+    )
+    assert not telemetry_dir.exists()
+    index = json.loads((results / "index.json").read_text())
+    assert index["timing"] is None and index["telemetry"] is None
+
+
+def test_profile_sections_dumps_pstats(tmp_path):
+    telemetry_dir = tmp_path / "prof" / "telemetry"
+    run(
+        tmp_path, "prof", "--telemetry", str(telemetry_dir),
+        "--profile-sections",
+    )
+    profiles = telemetry_dir / "profiles"
+    dumped = {path.name for path in profiles.iterdir()}
+    assert {f"{name}.pstats" for name in SECTIONS} <= dumped
+    document = json.load(open(telemetry_dir / "metrics.json"))
+    assert document["spans"]  # profile records ride the same log

@@ -1,0 +1,120 @@
+"""The span tracer and the environment-driven runtime switch."""
+
+import json
+import os
+
+from repro.telemetry import runtime
+from repro.telemetry.spans import (
+    NULL_SPAN,
+    SPAN_REQUIRED_KEYS,
+    SpanTracer,
+    validate_span_record,
+)
+
+
+def read_lines(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestSpanTracer:
+    def test_finished_span_lands_as_one_json_line(self, tmp_path):
+        tracer = SpanTracer(str(tmp_path / "spans.jsonl"))
+        span = tracer.start("replay/timing", {"engine": "columnar"})
+        span.set("touches", 42)
+        tracer.finish(span)
+        tracer.close()
+        (record,) = read_lines(tracer.path)
+        assert record["type"] == "span"
+        assert record["name"] == "replay/timing"
+        assert record["pid"] == os.getpid()
+        assert record["attrs"] == {"engine": "columnar", "touches": 42}
+        assert record["duration_s"] >= 0
+        assert validate_span_record(record) == []
+
+    def test_nested_spans_carry_parent_ids(self, tmp_path):
+        tracer = SpanTracer(str(tmp_path / "spans.jsonl"))
+        outer = tracer.start("outer", {})
+        inner = tracer.start("inner", {})
+        tracer.finish(inner)
+        tracer.finish(outer)
+        tracer.close()
+        by_name = {r["name"]: r for r in read_lines(tracer.path)}
+        assert by_name["outer"]["parent"] is None
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+
+    def test_validate_rejects_malformed_records(self):
+        problems = validate_span_record({"type": "span"})
+        # every required key except "type" is reported missing
+        assert len(problems) == len(SPAN_REQUIRED_KEYS) - 1
+        assert validate_span_record({"type": "metrics"})  # wrong type
+        bad_duration = {
+            "type": "span", "name": "x", "pid": 1, "id": 1,
+            "parent": None, "ts": 0.0, "duration_s": "fast", "attrs": {},
+        }
+        assert validate_span_record(bad_duration)
+
+    def test_null_span_swallows_set(self):
+        NULL_SPAN.set("anything", 1)  # must not raise
+
+
+class TestRuntimeSwitch:
+    def test_disabled_by_default(self):
+        assert runtime.active() is None
+        with runtime.span("replay/timing") as span:
+            assert span is NULL_SPAN
+
+    def test_configure_activates_and_shutdown_deactivates(self, tmp_path):
+        handle = runtime.configure(str(tmp_path / "tel"))
+        assert runtime.active() is handle
+        assert os.environ[runtime.ENV_DIR] == handle.directory
+        runtime.shutdown()
+        assert runtime.active() is None
+        assert runtime.ENV_DIR not in os.environ
+
+    def test_active_resolves_env_changes_without_cache_invalidation(
+        self, tmp_path
+    ):
+        first = runtime.configure(str(tmp_path / "a"))
+        second = runtime.configure(str(tmp_path / "b"))
+        assert first is not second
+        assert runtime.active() is second
+
+    def test_flush_writes_metric_snapshot_with_monotonic_seq(self, tmp_path):
+        handle = runtime.configure(str(tmp_path / "tel"))
+        handle.inc("hits_total", 3)
+        handle.flush()
+        handle.inc("hits_total", 2)
+        handle.flush()
+        handle.close()
+        records = read_lines(
+            os.path.join(handle.directory, runtime.SPAN_LOG_NAME)
+        )
+        snapshots = [r for r in records if r["type"] == "metrics"]
+        assert [s["seq"] for s in snapshots] == sorted(
+            s["seq"] for s in snapshots
+        )
+        # Snapshots are cumulative: the last one carries the full count.
+        assert snapshots[-1]["metrics"]["counters"]["hits_total"] == 5
+
+    def test_span_scope_writes_through_the_active_handle(self, tmp_path):
+        handle = runtime.configure(str(tmp_path / "tel"))
+        with runtime.span("corpus/record", scenario="server-churn") as span:
+            span.set("records", 7)
+        handle.close()
+        records = read_lines(
+            os.path.join(handle.directory, runtime.SPAN_LOG_NAME)
+        )
+        (record,) = [r for r in records if r["type"] == "span"]
+        assert record["attrs"] == {"scenario": "server-churn", "records": 7}
+
+    def test_fresh_configure_truncates_a_previous_log(self, tmp_path):
+        directory = str(tmp_path / "tel")
+        handle = runtime.configure(directory)
+        with runtime.span("stale"):
+            pass
+        handle.close()
+        runtime.configure(directory, fresh=True)
+        runtime.shutdown()
+        path = os.path.join(directory, runtime.SPAN_LOG_NAME)
+        assert not os.path.exists(path) or not read_lines(path)
