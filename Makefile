@@ -22,7 +22,7 @@ CORPUS_DIR ?= .repro-corpus
 .PHONY: test test-slow bench bench-quick bench-smoke bench-profile \
         experiments experiments-full experiments-smoke faults-smoke \
         trace-demo trace-demo-mc corpus-demo loadgen-smoke kernel-smoke \
-        telemetry-smoke
+        telemetry-smoke serve-smoke
 
 #: Scratch directory for the fault-injection matrix (wiped each run).
 FAULTS_DIR ?= .repro-faults
@@ -97,6 +97,38 @@ telemetry-smoke:
 	sys.exit(0 if '# TYPE' in text else 1)"; \
 	$(PY) -m repro telemetry summarize "$(TELEMETRY_DIR)/telemetry"; \
 	echo "telemetry-smoke: artifacts present, schemas valid"
+
+#: Working directory for the serve-smoke run (kept, so CI can upload
+#: the server log on failure).
+SERVE_DIR ?= .repro-serve
+
+## CI gate for the corpus/experiment service: build a tiny corpus +
+## pack + results doc, start `repro serve` on an ephemeral port, then
+## drive it with scripts/serve_smoke.py — fetch-by-digest byte
+## identity, replay identity through the RemoteStore, results 200→304
+## revalidation, a digest-verified pack round-trip, a streamed job, and
+## a parseable /metrics body.  See docs/SERVICE.md; the server log
+## lands in SERVE_DIR/serve.log.
+serve-smoke:
+	set -e; rm -rf "$(SERVE_DIR)"; mkdir -p "$(SERVE_DIR)/results"; \
+	$(PY) -m repro corpus --root "$(SERVE_DIR)/corpus" build \
+		--scenario server-churn --instructions 4000; \
+	$(PY) -m repro corpus --root "$(SERVE_DIR)/corpus" pack; \
+	$(PY) -c "import json; \
+	from repro.experiments.results import RESULT_SCHEMA; \
+	json.dump({'schema': RESULT_SCHEMA, 'section': 'smoke', \
+	'title': 'serve smoke', 'data': {'ok': 1}}, \
+	open('$(SERVE_DIR)/results/smoke.json', 'w'))"; \
+	$(PY) -m repro serve --port 0 --corpus "$(SERVE_DIR)/corpus" \
+		--results-dir "$(SERVE_DIR)/results" \
+		--port-file "$(SERVE_DIR)/port" \
+		> "$(SERVE_DIR)/serve.log" 2>&1 & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	i=0; until [ -s "$(SERVE_DIR)/port" ] || [ $$i -ge 100 ]; do \
+		sleep 0.1; i=$$((i+1)); done; \
+	[ -s "$(SERVE_DIR)/port" ] || { cat "$(SERVE_DIR)/serve.log"; exit 1; }; \
+	$(PY) scripts/serve_smoke.py \
+		"http://127.0.0.1:$$(cat $(SERVE_DIR)/port)" "$(SERVE_DIR)/corpus"
 
 ## Trace engine end-to-end: record -> info -> shard -> parallel replay.
 ## Runs in a private mktemp dir (removed on exit) unless TRACE_DEMO_DIR

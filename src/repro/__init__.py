@@ -30,9 +30,28 @@ Subpackages
     runner behind ``python -m repro run``.
 """
 
-__version__ = "1.0.0"
+__version__ = "0.9.0"
 
-from repro.core import (  # noqa: F401  (re-exported convenience API)
+
+def package_version() -> str:
+    """The installed distribution's version, else :data:`__version__`.
+
+    Preferring package metadata means an installed build reports exactly
+    what pip resolved; the source-tree fallback (``PYTHONPATH=src``
+    development runs, where nothing is installed) reports the in-tree
+    version.  ``repro --version``, the service's ``Server:`` header and
+    the remote client's ``User-Agent`` all read this one function, so
+    the two sides of ``repro.serve`` can see each other's versions.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("califorms-repro")
+    except Exception:
+        return __version__
+
+
+from repro.core import (  # noqa: F401,E402  (re-exported convenience API)
     BitvectorLine,
     CaliformsException,
     CformRequest,

@@ -10,6 +10,7 @@ Subcommands::
     faults    fault injection           (= python -m repro.reliability ...)
     loadgen   the traffic engine        (= python -m repro.loadgen ...)
     telemetry run introspection         (= python -m repro.telemetry ...)
+    serve     corpus/experiment service (= python -m repro.serve ...)
 
 ``run`` is implemented here against the experiment registry; the others
 delegate verbatim to the existing module CLIs, so every flag those
@@ -220,6 +221,7 @@ _DELEGATED = {
     "faults": "repro.reliability.__main__",
     "loadgen": "repro.loadgen.__main__",
     "telemetry": "repro.telemetry.__main__",
+    "serve": "repro.serve.__main__",
 }
 
 
@@ -235,6 +237,11 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="Califorms reproduction: experiments, perf harness, "
         "trace engine and corpus store behind one CLI.",
+    )
+    from repro import package_version
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {package_version()}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -344,6 +351,7 @@ def main(argv: list[str] | None = None) -> int:
         ("faults", "fault injection (= python -m repro.reliability ...)"),
         ("loadgen", "traffic engine (= python -m repro.loadgen ...)"),
         ("telemetry", "run introspection (= python -m repro.telemetry ...)"),
+        ("serve", "corpus/experiment service (= python -m repro.serve ...)"),
     ):
         commands.add_parser(name, help=help_text, add_help=False)
 

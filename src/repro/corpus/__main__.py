@@ -8,8 +8,12 @@ Subcommands::
     verify  re-hash every object against its manifest digest; non-zero
             exit on problems, ``--repair`` self-heals them (quarantine +
             re-record from the manifest-stored spec)
-    gc      drop unreferenced objects and stale manifest entries
+    gc      drop unreferenced objects, stale manifest entries and
+            quarantined damage older than ``--keep-days``
     key     print the registry fingerprint (the CI cache key)
+    pack    frame objects (all, or ``--scenario`` selections) into one
+            content-addressed ``.pack`` container for distribution
+    unpack  install a pack's objects + manifest bindings into the store
 
 The store root is ``--root``, else ``$REPRO_CORPUS_DIR``, else
 ``./.repro-corpus``.  Examples::
@@ -18,8 +22,11 @@ The store root is ``--root``, else ``$REPRO_CORPUS_DIR``, else
     python -m repro.corpus ls
     python -m repro.corpus verify
     python -m repro.corpus verify --repair
-    python -m repro.corpus gc
+    python -m repro.corpus gc --keep-days 3
     python -m repro.corpus key
+    python -m repro.corpus pack
+    python -m repro.corpus pack --scenario server-churn --out churn.pack
+    python -m repro.corpus unpack churn.pack
 
 See the "Corpus & compression" section of BENCHMARKS.md for the store
 layout and measured compression ratios.
@@ -146,10 +153,43 @@ def _cmd_verify(arguments: argparse.Namespace) -> int:
 
 
 def _cmd_gc(arguments: argparse.Namespace) -> int:
-    removed = _store(arguments).gc()
+    store = _store(arguments)
+    removed = store.gc(keep_days=arguments.keep_days)
     for item in removed:
         print(f"removed {item}")
-    print(f"{len(removed)} item(s) removed")
+    print(
+        f"{len(removed)} item(s) removed, "
+        f"{store.reclaimed_bytes} B reclaimed"
+    )
+    return 0
+
+
+def _cmd_pack(arguments: argparse.Namespace) -> int:
+    from repro.corpus.packs import write_pack
+
+    path, identifier, count = write_pack(
+        _store(arguments), out=arguments.out, names=arguments.scenario
+    )
+    print(f"packed {count} object(s) -> {path}")
+    print(f"pack id {identifier}")
+    return 0
+
+
+def _cmd_unpack(arguments: argparse.Namespace) -> int:
+    from repro.corpus.packs import unpack, verify_pack
+
+    problems = verify_pack(arguments.pack)
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        return 1
+    installed, skipped = unpack(arguments.pack, _store(arguments))
+    for digest in installed:
+        print(f"installed {digest[:16]}")
+    print(
+        f"{len(installed)} object(s) installed, {len(skipped)} already "
+        f"present (root {arguments.root})"
+    )
     return 0
 
 
@@ -193,10 +233,40 @@ def main(argv: list[str] | None = None) -> int:
         help="self-heal: quarantine damaged objects and re-record them "
         "from their manifest-stored specs",
     )
-    commands.add_parser("gc", help="remove unreferenced objects")
+    gc = commands.add_parser(
+        "gc",
+        help="remove unreferenced objects and old quarantined damage",
+    )
+    from repro.corpus.store import QUARANTINE_KEEP_DAYS
+
+    gc.add_argument(
+        "--keep-days", type=float, default=QUARANTINE_KEEP_DAYS,
+        metavar="DAYS",
+        help="keep quarantined damage younger than DAYS for diagnosis "
+        f"(default: {QUARANTINE_KEEP_DAYS:g}; the events.jsonl ledger "
+        "is always kept)",
+    )
     commands.add_parser(
         "key", help="print the registry fingerprint (CI cache key)"
     )
+    pack = commands.add_parser(
+        "pack",
+        help="frame corpus objects into one .pack container",
+    )
+    pack.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="scenario to include (repeatable; default: every recorded "
+        "object)",
+    )
+    pack.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output file (default: <root>/packs/<pack id>.pack)",
+    )
+    unpack = commands.add_parser(
+        "unpack",
+        help="verify a pack and install its objects + bindings",
+    )
+    unpack.add_argument("pack", help="pack file to install")
 
     arguments = parser.parse_args(argv)
     handler = {
@@ -205,6 +275,8 @@ def main(argv: list[str] | None = None) -> int:
         "verify": _cmd_verify,
         "gc": _cmd_gc,
         "key": _cmd_key,
+        "pack": _cmd_pack,
+        "unpack": _cmd_unpack,
     }[arguments.command]
     try:
         return handler(arguments)

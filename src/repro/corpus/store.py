@@ -80,6 +80,12 @@ QUARANTINE_DIR = "quarantine"
 #: directory.  Each line: scenario, digest, reason, action.
 HEAL_LOG_NAME = "events.jsonl"
 
+#: ``gc`` keeps quarantined damage younger than this many days for
+#: post-mortem diagnosis; older blobs are reclaimed.  The events.jsonl
+#: ledger itself is never swept — it is the record of *why* bytes were
+#: quarantined, and it stays useful after the bytes are gone.
+QUARANTINE_KEEP_DAYS = 7.0
+
 #: Exceptions that mean "the bytes under this consumer are damaged" —
 #: the self-heal triggers.  Everything else (bugs, BaseException) still
 #: propagates.
@@ -177,6 +183,8 @@ class CorpusStore:
         self.hits = 0
         self.built = 0
         self.healed = 0
+        #: Bytes freed by the most recent :meth:`gc` call.
+        self.reclaimed_bytes = 0
         #: Digests this handle already re-hashed successfully; a sweep
         #: replaying one baseline object dozens of times pays the hash
         #: once (replay-time damage is still caught by ``run_result``).
@@ -575,9 +583,19 @@ class CorpusStore:
                 )
         return problems, actions
 
-    def gc(self) -> list[str]:
-        """Remove unreferenced object files and stale manifest entries."""
+    def gc(self, keep_days: float = QUARANTINE_KEEP_DAYS) -> list[str]:
+        """Remove unreferenced objects, stale entries and old quarantine.
+
+        Quarantined blobs (damaged objects and corrupt manifests parked
+        under ``<root>/quarantine/`` by the self-heal paths) are swept
+        once older than ``keep_days`` — young enough damage stays
+        inspectable, but a long-lived store no longer accumulates every
+        corruption it ever survived.  The heal ledger (events.jsonl) is
+        always kept.  Bytes freed by this call (objects *and*
+        quarantine) are reported in :attr:`reclaimed_bytes`.
+        """
         removed: list[str] = []
+        self.reclaimed_bytes = 0
         with manifest_lock(self.root):
             manifest = self.manifest()
             stale = [
@@ -608,10 +626,31 @@ class CorpusStore:
                     try:
                         if os.path.getmtime(path) > stale_before:
                             continue
+                        size = os.path.getsize(path)
                         os.remove(path)
                     except OSError:
                         continue  # renamed/removed mid-walk
                     removed.append(path)
+                    self.reclaimed_bytes += size
+        if os.path.isdir(self.quarantine_dir):
+            import time
+
+            keep_after = time.time() - keep_days * 86400.0
+            for filename in sorted(os.listdir(self.quarantine_dir)):
+                if filename == HEAL_LOG_NAME:
+                    continue
+                path = os.path.join(self.quarantine_dir, filename)
+                if not os.path.isfile(path):
+                    continue
+                try:
+                    if os.path.getmtime(path) > keep_after:
+                        continue
+                    size = os.path.getsize(path)
+                    os.remove(path)
+                except OSError:
+                    continue  # swept by a concurrent gc
+                removed.append(path)
+                self.reclaimed_bytes += size
         return removed
 
 

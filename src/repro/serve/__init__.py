@@ -1,0 +1,28 @@
+"""repro.serve — the corpus/experiment service.
+
+An asyncio HTTP service over the reproduction's three artifact kinds:
+
+* **trace objects** — fetch-by-digest out of a
+  :class:`~repro.corpus.store.CorpusStore`, integrity re-hashed on read,
+  with the content digest doubling as the ``ETag``;
+* **section results** — cached ``SectionResult`` JSON with exact
+  (content-digest) revalidation, so a warm client costs one ``stat``;
+* **jobs** — record/replay work queued behind ``POST /jobs`` with
+  line-delimited progress streaming.
+
+Plus pack files (``GET /packs/<id>``), Prometheus ``/metrics`` through
+the telemetry exporter, and ``/healthz``.  The server side lives in
+:mod:`repro.serve.app`; the consuming side is
+:class:`repro.serve.client.RemoteStore`, a drop-in read interface for
+any code that resolves traces through a store handle.
+
+Run it with ``python -m repro serve --corpus <root> --results-dir <dir>``.
+"""
+
+from repro.serve.app import DEFAULT_HOST, DEFAULT_PORT, ServeApp  # noqa: F401
+from repro.serve.client import (  # noqa: F401
+    RemoteError,
+    RemoteIntegrityError,
+    RemoteJobFailed,
+    RemoteStore,
+)

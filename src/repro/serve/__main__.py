@@ -1,0 +1,96 @@
+"""``python -m repro serve`` / ``python -m repro.serve`` — run the service.
+
+Binds the :class:`~repro.serve.app.ServeApp` and serves until
+interrupted.  ``--port 0`` binds an ephemeral port (the bound address is
+printed, and written to ``--port-file`` when given, so smoke tests and
+scripts can discover it race-free).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.serve.app import DEFAULT_HOST, DEFAULT_PORT, ServeApp
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve the trace corpus, cached results and a job queue "
+        "over HTTP.",
+    )
+    parser.add_argument(
+        "--host", default=DEFAULT_HOST, help=f"bind address (default "
+        f"{DEFAULT_HOST})"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"bind port; 0 picks an ephemeral port (default {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--corpus",
+        default="corpus",
+        help="corpus store root to serve (default: corpus)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="results directory for GET /results (default: results)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="job worker tasks (default: 1)",
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port here once listening (for scripts)",
+    )
+    return parser
+
+
+async def serve(arguments: argparse.Namespace) -> int:
+    app = ServeApp(
+        corpus_root=arguments.corpus,
+        results_dir=arguments.results_dir,
+        workers=arguments.workers,
+    )
+    server = await app.start(arguments.host, arguments.port)
+    host, port = server.sockets[0].getsockname()[:2]
+    print(f"{app.server_header} listening on http://{host}:{port}", flush=True)
+    print(
+        f"  corpus={arguments.corpus} results={arguments.results_dir} "
+        f"workers={arguments.workers}",
+        flush=True,
+    )
+    if arguments.port_file:
+        with open(arguments.port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{port}\n")
+    try:
+        async with server:
+            await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await app.close()
+        server.close()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(serve(arguments))
+    except KeyboardInterrupt:
+        print("serve: interrupted", file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,439 @@
+"""The ``repro.serve`` application: routes, state and the asyncio server.
+
+One :class:`ServeApp` owns the service's state — a read-side
+:class:`~repro.corpus.store.CorpusStore` handle, the
+:class:`~repro.serve.cache.ResultsCache`, the
+:class:`~repro.serve.jobs.JobQueue` and a
+:class:`~repro.telemetry.metrics.MetricsRegistry` of its own — and maps
+requests to responses:
+
+====================  ========================================================
+``GET /healthz``      liveness + version + store/results summary
+``GET /metrics``      Prometheus text: the server registry merged with the
+                      process's active ``repro.telemetry`` snapshot
+``GET /manifest``     the corpus manifest document (ETag: content digest)
+``GET /objects/<d>``  one trace object by canonical digest, integrity
+                      re-hashed on first read; ``ETag: <digest>`` / 304
+``GET /results``      section index
+``GET /results/<s>``  cached SectionResult JSON; ETag = body sha256 / 304
+``GET /packs``        pack index (id, members, bytes)
+``GET /packs/<id>``   one pack file (content-addressed; ETag / 304)
+``POST /jobs``        queue a record/replay job; streams ndjson progress
+                      (``?wait=0`` → 202 + job id immediately)
+``GET /jobs``         job table
+``GET /jobs/<id>``    one job document (state, events, result)
+====================  ========================================================
+
+Everything is read-only against the corpus except ``POST /jobs``, whose
+recordings go through ``CorpusStore.ensure`` — the same deterministic,
+self-healing write path local builds use.
+
+The server is deliberately single-process: replication is horizontal
+(several replicas over one packed corpus), and the corpus store's
+content addressing makes every replica's ``/objects`` responses
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+
+from repro import package_version
+from repro.corpus.packs import pack_id, read_pack
+from repro.corpus.store import CorpusStore, canonical_digest
+from repro.serve.cache import ResultsCache, SectionNotFound
+from repro.serve.jobs import JobQueue, JobSpecError, parse_job_spec
+from repro.telemetry.export import merge_snapshots, prometheus_text
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.runtime import active as telemetry_active
+
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    Response,
+    StreamResponse,
+    read_request,
+    write_response,
+    write_stream,
+)
+
+#: Default bind address/port of ``python -m repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8023
+
+#: Hex alphabet of a sha256 digest path component.
+_HEX = set("0123456789abcdef")
+
+
+def _is_digest(text: str) -> bool:
+    return len(text) == 64 and set(text) <= _HEX
+
+
+class ServeApp:
+    """Service state + request dispatch (transport-agnostic)."""
+
+    def __init__(
+        self,
+        corpus_root: str,
+        results_dir: str,
+        workers: int = 1,
+        packs_dir: str | None = None,
+    ):
+        self.store = CorpusStore(corpus_root)
+        self.results = ResultsCache(results_dir)
+        self.jobs = JobQueue(self.store, workers=workers)
+        self.packs_dir = packs_dir or os.path.join(corpus_root, "packs")
+        self.metrics = MetricsRegistry()
+        self.server_header = f"repro-serve/{package_version()}"
+        #: Digests this process already integrity-verified on read.
+        self._verified: set[str] = set()
+        #: Pack ids already content-verified against their filename.
+        self._verified_packs: set[str] = set()
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def handle(self, request: Request) -> Response | StreamResponse:
+        parts = [part for part in request.path.split("/") if part]
+        route = (request.method, parts[0] if parts else "", len(parts))
+        try:
+            if route == ("GET", "healthz", 1):
+                return self._healthz()
+            if route == ("GET", "metrics", 1):
+                return self._metrics()
+            if route == ("GET", "manifest", 1):
+                return self._manifest(request)
+            if route == ("GET", "objects", 2):
+                return self._object(request, parts[1])
+            if route == ("GET", "results", 1):
+                return self._results_index()
+            if route == ("GET", "results", 2):
+                return self._result(request, parts[1])
+            if route == ("GET", "packs", 1):
+                return self._packs_index()
+            if route == ("GET", "packs", 2):
+                return self._pack(request, parts[1])
+            if route == ("POST", "jobs", 1):
+                return self._submit_job(request)
+            if route == ("GET", "jobs", 1):
+                return self._jobs_index()
+            if route == ("GET", "jobs", 2):
+                return self._job(parts[1])
+        except ProtocolError as error:
+            return Response.error(error.status, str(error))
+        if request.method not in ("GET", "HEAD", "POST"):
+            return Response.error(405, f"method {request.method} not allowed")
+        return Response.error(404, f"no route for {request.path}")
+
+    # -- liveness + observability --------------------------------------------
+
+    def _healthz(self) -> Response:
+        self.metrics.inc("serve_requests_total", route="healthz", status=200)
+        manifest = self.store.manifest()
+        return Response.json(
+            {
+                "status": "ok",
+                "version": package_version(),
+                "corpus": {
+                    "root": self.store.root,
+                    "entries": len(manifest.entries),
+                },
+                "results": {
+                    "dir": self.results.results_dir,
+                    "sections": len(self.results.sections()),
+                },
+                "packs": len(self._pack_listing()),
+                "jobs": len(self.jobs.jobs),
+            }
+        )
+
+    def _metrics(self) -> Response:
+        """Prometheus exposition: server registry ⊕ active telemetry.
+
+        Both snapshots travel through the telemetry exporter's own
+        :func:`merge_snapshots`/:func:`prometheus_text`, so the service
+        emits exactly the exposition the offline ``metrics.prom``
+        artifact carries — one format, one implementation.
+        """
+        self.metrics.inc("serve_requests_total", route="metrics", status=200)
+        snapshots = {0: {"seq": 1, "metrics": self.metrics.snapshot()}}
+        tel = telemetry_active()
+        if tel is not None:
+            snapshots[1] = {"seq": 1, "metrics": tel.registry.snapshot()}
+        merged = merge_snapshots(snapshots)
+        # Sort each series table so a family's series are contiguous in
+        # the exposition (required by the text format; the merged dict
+        # is insertion-ordered otherwise).
+        for table in ("counters", "gauges", "histograms"):
+            merged[table] = dict(sorted(merged.get(table, {}).items()))
+        return Response.text(prometheus_text(merged))
+
+    # -- corpus read side ----------------------------------------------------
+
+    def _manifest(self, request: Request) -> Response:
+        manifest = self.store.manifest()
+        document = {
+            "manifest_version": 1,
+            "entries": {
+                fingerprint: entry.to_dict()
+                for fingerprint, entry in sorted(manifest.entries.items())
+            },
+        }
+        body = (json.dumps(document, indent=2, sort_keys=True) + "\n").encode()
+        digest = hashlib.sha256(body).hexdigest()
+        if digest in request.if_none_match:
+            self.metrics.inc("serve_requests_total", route="manifest",
+                             status=304)
+            return Response.not_modified(digest)
+        self.metrics.inc("serve_requests_total", route="manifest", status=200)
+        return Response(
+            body=body,
+            headers={"ETag": f'"{digest}"'},
+        )
+
+    def _object(self, request: Request, digest: str) -> Response:
+        if not _is_digest(digest):
+            return Response.error(
+                400, f"{digest!r} is not a sha256 content digest"
+            )
+        if digest in request.if_none_match:
+            # Content-addressed: the name IS the content, so a client
+            # that has the digest needs no bytes and we need no disk.
+            self.metrics.inc("serve_requests_total", route="objects",
+                             status=304)
+            return Response.not_modified(digest)
+        path = self.store.object_path(digest)
+        if not os.path.exists(path):
+            self.metrics.inc("serve_requests_total", route="objects",
+                             status=404)
+            return Response.error(404, f"no object {digest[:12]}…")
+        if digest not in self._verified:
+            # Integrity re-hash on read: never serve bytes that no
+            # longer hash to the name they are served under.
+            try:
+                actual, _raw, _footer = canonical_digest(path)
+            except Exception as error:  # damaged container
+                self.metrics.inc("serve_object_integrity_failures_total")
+                return Response.error(
+                    500,
+                    f"object {digest[:12]}… is unreadable: {error}; "
+                    f"run `repro corpus verify --repair` on the server",
+                )
+            if actual != digest:
+                self.metrics.inc("serve_object_integrity_failures_total")
+                return Response.error(
+                    500,
+                    f"object {digest[:12]}… fails integrity: on-disk "
+                    f"stream hashes to {actual[:12]}…; run `repro corpus "
+                    f"verify --repair` on the server",
+                )
+            self._verified.add(digest)
+            self.metrics.inc("serve_object_verifications_total")
+        with open(path, "rb") as handle:
+            body = handle.read()
+        self.metrics.inc("serve_requests_total", route="objects", status=200)
+        self.metrics.inc("serve_object_bytes_total", len(body))
+        return Response(
+            body=body,
+            content_type="application/octet-stream",
+            headers={"ETag": f'"{digest}"'},
+        )
+
+    # -- results read side ---------------------------------------------------
+
+    def _results_index(self) -> Response:
+        return Response.json({"sections": self.results.sections()})
+
+    def _result(self, request: Request, section: str) -> Response:
+        try:
+            document = self.results.get(section)
+        except SectionNotFound:
+            self.metrics.inc("serve_requests_total", route="results",
+                             status=404)
+            known = ", ".join(self.results.sections()) or "<none>"
+            return Response.error(
+                404, f"no section {section!r}; available: {known}"
+            )
+        except ValueError as error:
+            self.metrics.inc("serve_requests_total", route="results",
+                             status=500)
+            return Response.error(500, str(error))
+        self.metrics.set_gauge("serve_results_cache_entries",
+                               len(self.results._entries))
+        if document.digest in request.if_none_match:
+            self.metrics.inc("serve_results_cache_hits_total")
+            self.metrics.inc("serve_requests_total", route="results",
+                             status=304)
+            return Response.not_modified(document.digest)
+        self.metrics.inc("serve_requests_total", route="results", status=200)
+        return Response(
+            body=document.body,
+            headers={
+                "ETag": f'"{document.digest}"',
+                "X-Repro-Schema": document.schema,
+            },
+        )
+
+    # -- packs ---------------------------------------------------------------
+
+    def _pack_listing(self) -> list[tuple[str, str]]:
+        if not os.path.isdir(self.packs_dir):
+            return []
+        found = []
+        for name in sorted(os.listdir(self.packs_dir)):
+            if name.endswith(".pack"):
+                found.append(
+                    (name[: -len(".pack")], os.path.join(self.packs_dir, name))
+                )
+        return found
+
+    def _packs_index(self) -> Response:
+        packs = []
+        for identifier, path in self._pack_listing():
+            try:
+                info = read_pack(path)
+            except Exception:
+                continue  # unreadable pack: omitted, not fatal
+            packs.append(
+                {
+                    "id": identifier,
+                    "objects": len(info.members),
+                    "stored_bytes": info.stored_bytes,
+                    "scenarios": sorted(
+                        {m.entry.scenario for m in info.members}
+                    ),
+                }
+            )
+        return Response.json({"packs": packs})
+
+    def _pack(self, request: Request, identifier: str) -> Response:
+        if not _is_digest(identifier):
+            return Response.error(
+                400, f"{identifier!r} is not a pack id (sha256)"
+            )
+        if identifier in request.if_none_match:
+            self.metrics.inc("serve_requests_total", route="packs",
+                             status=304)
+            return Response.not_modified(identifier)
+        path = os.path.join(self.packs_dir, f"{identifier}.pack")
+        if not os.path.exists(path):
+            self.metrics.inc("serve_requests_total", route="packs",
+                             status=404)
+            return Response.error(404, f"no pack {identifier[:12]}…")
+        if identifier not in self._verified_packs:
+            if pack_id(path) != identifier:
+                self.metrics.inc("serve_object_integrity_failures_total")
+                return Response.error(
+                    500,
+                    f"pack {identifier[:12]}… fails integrity (file no "
+                    f"longer hashes to its name)",
+                )
+            self._verified_packs.add(identifier)
+        with open(path, "rb") as handle:
+            body = handle.read()
+        self.metrics.inc("serve_requests_total", route="packs", status=200)
+        self.metrics.inc("serve_object_bytes_total", len(body))
+        return Response(
+            body=body,
+            content_type="application/octet-stream",
+            headers={"ETag": f'"{identifier}"'},
+        )
+
+    # -- jobs ----------------------------------------------------------------
+
+    def _submit_job(self, request: Request) -> Response | StreamResponse:
+        try:
+            kind, spec = parse_job_spec(request.json())
+        except JobSpecError as error:
+            self.metrics.inc("serve_requests_total", route="jobs", status=400)
+            return Response.error(400, str(error))
+        job = self.jobs.submit(kind, spec)
+        self.metrics.inc("serve_jobs_total", kind=kind)
+        wait = request.query.get("wait", ["1"])[-1]
+        if wait in ("0", "false", "no"):
+            self.metrics.inc("serve_requests_total", route="jobs", status=202)
+            return Response.json(
+                {"job": job.id, "state": job.state},
+                status=202,
+                headers={"Location": f"/jobs/{job.id}"},
+            )
+        self.metrics.inc("serve_requests_total", route="jobs", status=200)
+
+        async def producer(emit) -> None:
+            await self.jobs.stream_events(job, emit)
+
+        return StreamResponse(
+            producer=producer, headers={"X-Repro-Job": job.id}
+        )
+
+    def _jobs_index(self) -> Response:
+        return Response.json(
+            {
+                "jobs": [
+                    {
+                        "id": job.id,
+                        "kind": job.kind,
+                        "scenario": job.spec.name,
+                        "state": job.state,
+                    }
+                    for job in self.jobs.jobs.values()
+                ]
+            }
+        )
+
+    def _job(self, job_id: str) -> Response:
+        job = self.jobs.get(job_id)
+        if job is None:
+            return Response.error(404, f"no job {job_id!r}")
+        return Response.json(job.to_dict())
+
+    # -- the asyncio server --------------------------------------------------
+
+    async def _connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as error:
+                    await write_response(
+                        writer,
+                        None,
+                        Response.error(error.status, str(error)),
+                        self.server_header,
+                        close=True,
+                    )
+                    return
+                if request is None:
+                    return  # client closed between requests
+                response = await self.handle(request)
+                if isinstance(response, StreamResponse):
+                    await write_stream(writer, response, self.server_header)
+                    return  # streamed responses close the connection
+                close = (
+                    request.header("connection").lower() == "close"
+                )
+                await write_response(
+                    writer, request, response, self.server_header, close
+                )
+                if close:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away / server shutting down
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def start(self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT):
+        """Bind and start serving; returns the ``asyncio.Server``."""
+        self.jobs.start()
+        return await asyncio.start_server(self._connection, host, port)
+
+    async def close(self) -> None:
+        await self.jobs.close()

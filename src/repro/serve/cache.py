@@ -1,0 +1,120 @@
+"""Content-digest cache over the ``results/*.json`` section documents.
+
+``GET /results/<section>`` serves :class:`SectionResult` JSON straight
+from the run's results directory.  Figure documents are requested far
+more often than they change (they change only when ``repro run``
+rewrites them), so the cache keys each section on its file's *stat
+signature* (mtime_ns, size, inode): an unchanged file is served from
+memory without re-reading — and since the cached entry carries the
+body's sha256, a client replaying the digest via ``If-None-Match``
+costs the server one ``stat`` and zero bytes of body.
+
+The digest doubles as the ``ETag``, which is exactly the corpus-store
+idea applied to results: content addressing makes revalidation exact
+(two byte-identical documents share an ETag across restarts and across
+replicas) rather than heuristic like mtime-based ``Last-Modified``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+
+from repro.experiments.results import FAILURE_SCHEMA, RESULT_SCHEMA
+
+#: Schemas a served section document may carry.
+SERVABLE_SCHEMAS = (RESULT_SCHEMA, FAILURE_SCHEMA)
+
+
+@dataclass(frozen=True)
+class CachedDocument:
+    """One section document pinned in memory."""
+
+    section: str
+    digest: str  # sha256 of the body — the ETag
+    body: bytes
+    schema: str
+    signature: tuple[int, int, int]  # (mtime_ns, size, inode)
+
+
+class SectionNotFound(KeyError):
+    """No such section document in the results directory (→ 404)."""
+
+
+class ResultsCache:
+    """Stat-validated in-memory cache of one results directory."""
+
+    def __init__(self, results_dir: str):
+        self.results_dir = results_dir
+        self._entries: dict[str, CachedDocument] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, section: str) -> str:
+        """The section's document path; rejects path-escaping names."""
+        if (
+            not section
+            or section != os.path.basename(section)
+            or section.startswith(".")
+        ):
+            raise SectionNotFound(section)
+        return os.path.join(self.results_dir, f"{section}.json")
+
+    @staticmethod
+    def _signature(path: str) -> tuple[int, int, int]:
+        info = os.stat(path)
+        return (info.st_mtime_ns, info.st_size, info.st_ino)
+
+    def get(self, section: str) -> CachedDocument:
+        """The section's current document, served from memory when the
+        on-disk file is unchanged.  Raises :class:`SectionNotFound` for
+        missing sections and :class:`ValueError` for documents that are
+        not results JSON."""
+        path = self.path_for(section)
+        try:
+            signature = self._signature(path)
+        except OSError:
+            self._entries.pop(section, None)
+            raise SectionNotFound(section) from None
+        cached = self._entries.get(section)
+        if cached is not None and cached.signature == signature:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        with open(path, "rb") as handle:
+            body = handle.read()
+        try:
+            schema = json.loads(body.decode("utf-8")).get("schema", "")
+        except (UnicodeDecodeError, ValueError) as error:
+            raise ValueError(
+                f"section {section!r} is not valid JSON: {error}"
+            ) from None
+        if schema not in SERVABLE_SCHEMAS:
+            raise ValueError(
+                f"section {section!r} has schema {schema!r}; this service "
+                f"serves {', '.join(SERVABLE_SCHEMAS)}"
+            )
+        entry = CachedDocument(
+            section=section,
+            digest=hashlib.sha256(body).hexdigest(),
+            body=body,
+            schema=schema,
+            signature=signature,
+        )
+        self._entries[section] = entry
+        return entry
+
+    def sections(self) -> list[str]:
+        """Section names currently present on disk (sorted)."""
+        try:
+            names = os.listdir(self.results_dir)
+        except OSError:
+            return []
+        found = []
+        for name in sorted(names):
+            stem, ext = os.path.splitext(name)
+            if ext == ".json" and stem != "index" and not stem.startswith("."):
+                found.append(stem)
+        return found

@@ -1,0 +1,276 @@
+"""The service's job queue: record-or-replay work with streamed progress.
+
+``POST /jobs`` turns a scenario document into a :class:`Job`, queues it,
+and (by default) streams the job's line-delimited progress events back
+until it reaches a terminal state.  A fixed pool of worker *tasks*
+drains the queue; each job's blocking work (recording through the
+corpus store, replaying a trace) runs in the event loop's default
+thread-pool executor so the service keeps answering reads while a
+recording is in flight.
+
+Job specs (JSON request bodies) name their workload one of three ways::
+
+    {"kind": "record", "scenario": "server-churn", "instructions": 8000}
+    {"kind": "replay", "spec": { ...TraceScenarioSpec document... }}
+    {"kind": "record", "load_scenario": { ...LoadScenario document... }}
+
+``scenario`` is a trace-registry name (optionally re-scaled),
+``spec`` a full :class:`~repro.traces.registry.TraceScenarioSpec`
+document, ``load_scenario`` an open-loop traffic document composed via
+:func:`repro.loadgen.compose.compose_spec`.  ``kind`` is ``record``
+(ensure the trace exists in the corpus) or ``replay`` (ensure, then
+replay it and report the run statistics).  Work is idempotent by
+construction — recording resolves through :meth:`CorpusStore.ensure`,
+so a job for an already-recorded spec is a pure corpus hit.
+
+Progress events are JSON objects ``{"job": id, "event": ..., ...}``;
+the terminal event is ``done`` (with the result document) or
+``failed`` (with the error).  The full event list is retained on the
+job and served by ``GET /jobs/<id>``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import traceback
+from dataclasses import dataclass, field
+
+from repro.experiments.results import jsonable
+from repro.memory.hierarchy import WESTMERE
+from repro.traces.registry import CORPUS, TraceScenarioSpec
+
+#: Job states, in lifecycle order.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+#: States that end a job (its event stream closes on reaching one).
+TERMINAL = (DONE, FAILED)
+
+#: Job kinds accepted by the queue.
+KNOWN_KINDS = ("record", "replay")
+
+
+class JobSpecError(ValueError):
+    """A job request document that cannot be turned into work (→ 400)."""
+
+
+def parse_job_spec(document) -> tuple[str, TraceScenarioSpec]:
+    """Validate a job request; returns ``(kind, trace spec)``.
+
+    Raises :class:`JobSpecError` with a client-appropriate message on
+    any problem — unknown kind, missing/conflicting workload keys, or
+    an invalid embedded spec document.
+    """
+    if not isinstance(document, dict):
+        raise JobSpecError("job spec must be a JSON object")
+    kind = document.get("kind", "record")
+    if kind not in KNOWN_KINDS:
+        raise JobSpecError(
+            f"unknown job kind {kind!r}; expected one of "
+            f"{', '.join(KNOWN_KINDS)}"
+        )
+    sources = [
+        key for key in ("scenario", "spec", "load_scenario") if key in document
+    ]
+    if len(sources) != 1:
+        raise JobSpecError(
+            "job spec needs exactly one of 'scenario' (a registry name), "
+            "'spec' (a trace-scenario document) or 'load_scenario' (a "
+            f"loadgen document); got {sources or 'none'}"
+        )
+    source = sources[0]
+    try:
+        if source == "scenario":
+            name = document["scenario"]
+            if name not in CORPUS:
+                raise JobSpecError(
+                    f"unknown scenario {name!r}; known: "
+                    f"{', '.join(sorted(CORPUS))}"
+                )
+            spec = CORPUS[name]
+            if "instructions" in document:
+                spec = spec.scaled(int(document["instructions"]))
+        elif source == "spec":
+            spec = TraceScenarioSpec.from_dict(document["spec"])
+        else:
+            from repro.loadgen.compose import compose_spec
+            from repro.loadgen.schema import LoadScenario
+
+            spec = compose_spec(
+                LoadScenario.from_dict(document["load_scenario"])
+            )
+    except JobSpecError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise JobSpecError(f"invalid {source} document: {error}") from None
+    return kind, spec
+
+
+@dataclass
+class Job:
+    """One queued unit of record-or-replay work."""
+
+    id: str
+    kind: str
+    spec: TraceScenarioSpec
+    state: str = QUEUED
+    events: list[dict] = field(default_factory=list)
+    result: dict | None = None
+    error: str | None = None
+    #: Wakes streamers whenever an event lands.
+    changed: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "scenario": self.spec.name,
+            "state": self.state,
+            "events": list(self.events),
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """An asyncio job queue with a fixed worker-task pool.
+
+    Work runs in the default thread-pool executor (recording is
+    CPU-heavy but releases the loop), progress crosses back into the
+    loop via ``call_soon_threadsafe``, and every event both appends to
+    the job's retained list and wakes any streaming subscribers.
+    """
+
+    def __init__(self, store, workers: int = 1, config=WESTMERE):
+        self.store = store
+        self.config = config
+        self.workers = max(1, workers)
+        self.jobs: dict[str, Job] = {}
+        self._counter = itertools.count(1)
+        self._queue: asyncio.Queue[Job] = asyncio.Queue()
+        self._tasks: list[asyncio.Task] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        for index in range(self.workers):
+            self._tasks.append(
+                asyncio.create_task(
+                    self._worker(), name=f"serve-job-worker-{index}"
+                )
+            )
+
+    async def close(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks.clear()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, kind: str, spec: TraceScenarioSpec) -> Job:
+        job = Job(id=f"job-{next(self._counter)}", kind=kind, spec=spec)
+        self.jobs[job.id] = job
+        self._emit(job, QUEUED, scenario=spec.name, kind=kind)
+        self._queue.put_nowait(job)
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        return self.jobs.get(job_id)
+
+    # -- events --------------------------------------------------------------
+
+    def _emit(self, job: Job, event: str, **fields) -> None:
+        record = {"job": job.id, "event": event, **fields}
+        job.events.append(record)
+        if event in (QUEUED, RUNNING, DONE, FAILED):
+            job.state = event
+        job.changed.set()
+        job.changed = asyncio.Event()  # next waiters get a fresh latch
+
+    def _emit_threadsafe(self, job: Job, event: str, **fields) -> None:
+        assert self._loop is not None
+        self._loop.call_soon_threadsafe(
+            lambda: self._emit(job, event, **fields)
+        )
+
+    async def stream_events(self, job: Job, emit) -> None:
+        """Feed every event (past and future) to ``emit`` until terminal."""
+        import json
+
+        cursor = 0
+        while True:
+            changed = job.changed  # latch *before* draining: no lost wakeups
+            while cursor < len(job.events):
+                event = job.events[cursor]
+                cursor += 1
+                await emit(
+                    (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+                )
+            if job.state in TERMINAL:
+                return
+            await changed.wait()
+
+    # -- the worker ----------------------------------------------------------
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            self._emit(job, RUNNING)
+            try:
+                result = await loop.run_in_executor(None, self._run, job)
+            except Exception as error:  # noqa: BLE001 — reported, not fatal
+                self._emit(
+                    job,
+                    FAILED,
+                    error=f"{type(error).__name__}: {error}",
+                    traceback=traceback.format_exc(),
+                )
+            else:
+                job.result = result
+                self._emit(job, DONE, result=result)
+            finally:
+                self._queue.task_done()
+
+    def _run(self, job: Job) -> dict:
+        """The blocking work of one job (executor thread)."""
+        resolved = self.store.ensure(job.spec, self.config)
+        entry = resolved.entry
+        self._emit_threadsafe(
+            job,
+            "recorded" if resolved.built else "corpus-hit",
+            digest=entry.digest,
+            records=entry.records,
+            stored_bytes=entry.stored_bytes,
+        )
+        result = {
+            "scenario": entry.scenario,
+            "fingerprint": entry.fingerprint,
+            "digest": entry.digest,
+            "records": entry.records,
+            "raw_bytes": entry.raw_bytes,
+            "stored_bytes": entry.stored_bytes,
+            "built": resolved.built,
+        }
+        if job.kind == "replay":
+            from repro.traces.replayer import replay_timing
+
+            self._emit_threadsafe(job, "replaying", digest=entry.digest)
+            run = replay_timing(resolved.path)
+            result["replay"] = jsonable(
+                {
+                    "benchmark": run.benchmark,
+                    "instructions": run.instructions,
+                    "events": run.events,
+                    "cform_instructions": run.cform_instructions,
+                    "alloc_events": run.alloc_events,
+                }
+            )
+        return result

@@ -100,6 +100,22 @@ def test_gc_reports_removals(root, capsys):
     assert "1 item(s) removed" in capsys.readouterr().out
 
 
+def test_gc_keep_days_sweeps_quarantine(root, capsys):
+    main(["--root", root, "build", "--scenario", "server-churn", *ARGS])
+    store = CorpusStore(root)
+    os.makedirs(store.quarantine_dir, exist_ok=True)
+    blob = os.path.join(store.quarantine_dir, "damaged.trace")
+    with open(blob, "w") as handle:
+        handle.write("x" * 64)
+    capsys.readouterr()
+    assert main(["--root", root, "gc"]) == 0
+    assert "0 B reclaimed" in capsys.readouterr().out
+    assert os.path.exists(blob)  # inside the default keep window
+    assert main(["--root", root, "gc", "--keep-days", "0"]) == 0
+    assert "64 B reclaimed" in capsys.readouterr().out
+    assert not os.path.exists(blob)
+
+
 def test_key_is_stable(root, capsys):
     assert main(["--root", root, "key"]) == 0
     first = capsys.readouterr().out.strip()

@@ -183,6 +183,45 @@ class TestMaintenance:
         assert not os.path.exists(stale)
         assert stale in removed
 
+    def test_gc_sweeps_stale_quarantined_blobs(self, store):
+        store.ensure(_spec())
+        os.makedirs(store.quarantine_dir, exist_ok=True)
+        stale = os.path.join(store.quarantine_dir, "old.trace")
+        with open(stale, "w") as handle:
+            handle.write("quarantined long ago")
+        os.utime(stale, (0, 0))
+        removed = store.gc()
+        assert stale in removed
+        assert not os.path.exists(stale)
+        assert store.reclaimed_bytes >= len("quarantined long ago")
+
+    def test_gc_spares_recent_quarantine_and_the_heal_ledger(self, store):
+        from repro.corpus.store import HEAL_LOG_NAME
+
+        store.ensure(_spec())
+        os.makedirs(store.quarantine_dir, exist_ok=True)
+        recent = os.path.join(store.quarantine_dir, "recent.trace")
+        with open(recent, "w") as handle:
+            handle.write("just quarantined")
+        ledger = os.path.join(store.quarantine_dir, HEAL_LOG_NAME)
+        with open(ledger, "w") as handle:
+            handle.write("{}\n")
+        os.utime(ledger, (0, 0))  # ancient, but never swept
+        assert store.gc() == []
+        assert os.path.exists(recent)
+        assert os.path.exists(ledger)
+
+    def test_gc_keep_days_tightens_the_window(self, store):
+        store.ensure(_spec())
+        os.makedirs(store.quarantine_dir, exist_ok=True)
+        blob = os.path.join(store.quarantine_dir, "damaged.trace")
+        with open(blob, "w") as handle:
+            handle.write("x" * 100)
+        assert store.gc() == []  # younger than the default window
+        removed = store.gc(keep_days=0.0)
+        assert blob in removed
+        assert store.reclaimed_bytes == 100
+
     def test_manifest_is_valid_json(self, store):
         store.ensure(_spec())
         with open(store.manifest_path) as handle:

@@ -158,6 +158,31 @@ class TestDelegation:
         assert main(["loadgen", "list"]) == 0
         assert "uniform-churn" in capsys.readouterr().out
 
+    def test_serve_subcommand_delegates(self, capsys):
+        with pytest.raises(SystemExit) as outcome:
+            main(["serve", "--help"])
+        assert outcome.value.code == 0
+        assert "--results-dir" in capsys.readouterr().out
+
+
+class TestVersion:
+    def test_version_flag_reports_package_version(self, capsys):
+        from repro import package_version
+
+        with pytest.raises(SystemExit) as outcome:
+            main(["--version"])
+        assert outcome.value.code == 0
+        assert capsys.readouterr().out.strip() == (
+            f"repro {package_version()}"
+        )
+
+    def test_version_matches_dunder_in_source_runs(self):
+        import repro
+
+        # Source-tree runs fall back to __version__; an installed
+        # package must agree with it (pyproject is the other copy).
+        assert repro.package_version() == repro.__version__
+
 
 class TestSetSelection:
     def run_set(self, tmp_path, tag: str) -> dict:

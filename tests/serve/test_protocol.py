@@ -1,0 +1,105 @@
+"""Unit tests of the serve wire layer (no sockets)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    Request,
+    Response,
+    read_request,
+)
+
+
+def parse(raw: bytes) -> Request | None:
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_basic_get(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.header("host") == "x"
+
+    def test_query_and_percent_decoding(self):
+        request = parse(b"GET /jobs?wait=0&x=1 HTTP/1.1\r\n\r\n")
+        assert request.query == {"wait": ["0"], "x": ["1"]}
+        request = parse(b"GET /results/fig%2010 HTTP/1.1\r\n\r\n")
+        assert request.path == "/results/fig 10"
+
+    def test_body_via_content_length(self):
+        request = parse(
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd"
+        )
+        assert request.body == b"abcd"
+
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_request_line_raises(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GET /healthz")
+
+    def test_oversized_body_is_413(self):
+        raw = (
+            f"POST /jobs HTTP/1.1\r\nContent-Length: "
+            f"{MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        with pytest.raises(ProtocolError) as outcome:
+            parse(raw)
+        assert outcome.value.status == 413
+
+    def test_chunked_request_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse(
+                b"POST /jobs HTTP/1.1\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+            )
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GARBAGE\r\n\r\n")
+
+
+class TestRequestHelpers:
+    def test_if_none_match_strips_quotes_and_splits(self):
+        request = Request(
+            method="GET", target="/", path="/", query={},
+            headers={"if-none-match": '"abc", "def"'},
+        )
+        assert request.if_none_match == {"abc", "def"}
+
+    def test_json_error_is_protocol_error(self):
+        request = Request(
+            method="POST", target="/", path="/", query={}, headers={},
+            body=b"{nope",
+        )
+        with pytest.raises(ProtocolError):
+            request.json()
+
+
+class TestResponse:
+    def test_json_body_is_stable(self):
+        first = Response.json({"b": 1, "a": 2}).body
+        second = Response.json({"a": 2, "b": 1}).body
+        assert first == second
+
+    def test_error_carries_status_in_body(self):
+        response = Response.error(404, "gone")
+        assert response.status == 404
+        assert b"gone" in response.body
+
+    def test_not_modified_has_no_body(self):
+        response = Response.not_modified("abc")
+        assert response.status == 304
+        assert response.body == b""
+        assert response.headers["ETag"] == '"abc"'
